@@ -1,0 +1,24 @@
+"""A3: the unreliable acknowledgement channel under loss."""
+
+import pytest
+
+from repro.experiments.ack_channel_loss import check_shape, run_sweep
+
+from .conftest import bench_once
+
+RATES = (0.0, 0.1, 0.2)
+
+
+def test_bench_ack_channel_loss(benchmark):
+    outcomes = bench_once(
+        benchmark, run_sweep, loss_rates=RATES, nbuf=128, n_requests=100
+    )
+    benchmark.extra_info["loss_rates"] = list(RATES)
+    benchmark.extra_info["bulk_kB_per_s"] = [
+        round(o.bulk_throughput_kB_per_sec, 1) for o in outcomes
+    ]
+    benchmark.extra_info["echo_p95_ms"] = [round(o.echo_p95_ms, 1) for o in outcomes]
+    assert check_shape(outcomes) == []
+    # Bulk is tolerant (cumulative channel info), echo pays the price.
+    assert outcomes[-1].bulk_throughput_kB_per_sec > outcomes[0].bulk_throughput_kB_per_sec * 0.7
+    assert outcomes[-1].echo_p95_ms > outcomes[0].echo_p95_ms * 2

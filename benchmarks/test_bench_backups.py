@@ -1,0 +1,39 @@
+"""A1: throughput vs acknowledgement-chain length."""
+
+import pytest
+
+from repro.experiments.backups_sweep import check_shape, run_backups_sweep
+
+from .conftest import bench_once
+
+COUNTS = (0, 1, 2, 4)
+
+
+def test_bench_backups_sweep(benchmark):
+    results = bench_once(
+        benchmark,
+        run_backups_sweep,
+        backup_counts=COUNTS,
+        sizes=(256, 1024),
+        nbuf=256,
+    )
+    for key, series in results.items():
+        benchmark.extra_info[key] = [round(v, 1) for v in series]
+    assert check_shape(results, COUNTS) == []
+    # Every chain length still moves data.
+    for n in COUNTS:
+        assert all(v > 0 for v in results[f"backups={n}"])
+
+
+def test_bench_long_chain_completes(benchmark):
+    """Even a 4-backup chain sustains the transfer (the deposit gates
+    compose transitively down the chain)."""
+    results = bench_once(
+        benchmark,
+        run_backups_sweep,
+        backup_counts=(4,),
+        sizes=(1024,),
+        nbuf=256,
+    )
+    benchmark.extra_info["backups=4"] = [round(v, 1) for v in results["backups=4"]]
+    assert results["backups=4"][0] > 50.0

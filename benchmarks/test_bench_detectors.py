@@ -1,0 +1,23 @@
+"""A7: failure-detector comparison (retransmission estimator vs
+heartbeats)."""
+
+import pytest
+
+from repro.experiments.detector_comparison import check_shape, run_comparison
+
+from .conftest import bench_once
+
+
+def test_bench_detector_comparison(benchmark):
+    outcomes = bench_once(benchmark, run_comparison, heartbeat_period=0.5)
+    for o in outcomes:
+        benchmark.extra_info[o.detector] = {
+            "active_s": round(o.active_latency, 2)
+            if o.active_latency != float("inf")
+            else "never",
+            "idle_s": round(o.idle_latency, 2)
+            if o.idle_latency != float("inf")
+            else "never",
+            "idle_msgs_per_s": round(o.idle_messages_per_sec, 1),
+        }
+    assert check_shape(outcomes) == []

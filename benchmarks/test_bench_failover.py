@@ -1,0 +1,51 @@
+"""A2/D1: fail-over latency vs detector threshold + client transparency."""
+
+import pytest
+
+from repro.experiments.failover import (
+    run_congestion_false_positive,
+    run_crash_failover,
+)
+
+from .conftest import bench_once
+
+THRESHOLDS = (2, 4, 8)
+
+
+def test_bench_failover_threshold_sweep(benchmark):
+    def sweep():
+        return [run_crash_failover(t) for t in THRESHOLDS]
+
+    outcomes = bench_once(benchmark, sweep)
+    benchmark.extra_info["thresholds"] = list(THRESHOLDS)
+    benchmark.extra_info["failover_latency_s"] = [
+        round(o.failover_latency, 2) for o in outcomes
+    ]
+    benchmark.extra_info["client_stall_s"] = [
+        round(o.client_stall, 2) for o in outcomes
+    ]
+    for outcome in outcomes:
+        assert outcome.detected
+        assert outcome.transfer_complete
+        assert outcome.client_events == []  # full transparency
+    latencies = [o.failover_latency for o in outcomes]
+    # Detection latency grows with the threshold (the paper's trade-off).
+    assert latencies == sorted(latencies)
+
+
+def test_bench_congestion_reports(benchmark):
+    def sweep():
+        return [run_congestion_false_positive(t) for t in THRESHOLDS]
+
+    outcomes = bench_once(benchmark, sweep)
+    benchmark.extra_info["thresholds"] = list(THRESHOLDS)
+    benchmark.extra_info["failure_reports"] = [o.failure_reports for o in outcomes]
+    benchmark.extra_info["spurious_shutdowns"] = [
+        o.spurious_shutdowns for o in outcomes
+    ]
+    # The paper's trade-off: a hair-trigger threshold reconfigures during
+    # a mere congestion burst (its probe pings are lost too), shutting
+    # down a live replica; higher thresholds ride the burst out.
+    shutdowns = [o.spurious_shutdowns for o in outcomes]
+    assert shutdowns == sorted(shutdowns, reverse=True)
+    assert outcomes[-1].spurious_shutdowns == 0

@@ -1,0 +1,44 @@
+"""Figure 4: ttcp throughput vs packet size, four configurations.
+
+Each benchmark regenerates one configuration's full row (all seven
+paper packet sizes); the combined test asserts the cross-configuration
+ordering the published figure shows.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import CONFIG_ORDER, check_shape, run_figure4
+from repro.workloads import FIGURE4_PACKET_SIZES
+
+from .conftest import bench_once
+
+NBUF = 512  # reduced from the full 2048 to keep the suite quick
+
+
+@pytest.mark.parametrize("config", CONFIG_ORDER)
+def test_bench_figure4_series(benchmark, config):
+    result = bench_once(
+        benchmark,
+        run_figure4,
+        sizes=FIGURE4_PACKET_SIZES,
+        nbuf=NBUF,
+        configs=[config],
+    )
+    series = result[config]
+    benchmark.extra_info["packet_sizes"] = list(FIGURE4_PACKET_SIZES)
+    benchmark.extra_info["throughput_kB_per_s"] = [round(v, 1) for v in series]
+    # Rising curve, as in the paper.
+    assert all(b >= a * 0.95 for a, b in zip(series, series[1:]))
+
+
+def test_bench_figure4_ordering(benchmark):
+    """The headline comparison: all four configurations at the largest
+    and smallest packet sizes, with the paper's ordering."""
+    results = bench_once(benchmark, run_figure4, sizes=(16, 1024), nbuf=NBUF)
+    for config, series in results.items():
+        benchmark.extra_info[config] = [round(v, 1) for v in series]
+    assert check_shape(results) == []
+    # The FT configuration pays a clear penalty at small packet sizes...
+    assert results["primary_backup"][0] < results["clean"][0] * 0.85
+    # ...but remains "not unreasonably lower" at large ones (paper §5).
+    assert results["primary_backup"][1] > results["clean"][1] * 0.5

@@ -1,0 +1,37 @@
+"""A4: fragmentation — the MTU dip and tunnelling-induced fragments."""
+
+import pytest
+
+from repro.experiments.fragmentation import (
+    UDP_FRAG_BOUNDARY,
+    check_shape,
+    run_mtu_sweep,
+    run_tunnel_fragmentation,
+)
+
+from .conftest import bench_once
+
+SIZES = (1024, 1472, 1500, 2048)
+
+
+def test_bench_mtu_sweep(benchmark):
+    outcomes = bench_once(benchmark, run_mtu_sweep, sizes=SIZES, nbuf=128)
+    benchmark.extra_info["datagram_sizes"] = list(SIZES)
+    benchmark.extra_info["throughput_kB_per_s"] = [
+        round(o.throughput_kB_per_sec, 1) for o in outcomes
+    ]
+    by_size = {int(o.value): o for o in outcomes}
+    assert not by_size[1472].fragments_created
+    assert by_size[1500].fragments_created
+    # The classic dip right past the MTU boundary.
+    assert by_size[1500].throughput_kB_per_sec < by_size[1472].throughput_kB_per_sec
+
+
+def test_bench_tunnel_fragmentation(benchmark):
+    outcomes = bench_once(benchmark, run_tunnel_fragmentation, nbuf=128)
+    benchmark.extra_info["configs"] = [o.label for o in outcomes]
+    benchmark.extra_info["throughput_kB_per_s"] = [
+        round(o.throughput_kB_per_sec, 1) for o in outcomes
+    ]
+    fragging, fitting = outcomes
+    assert fragging.fragments_created and not fitting.fragments_created

@@ -1,0 +1,28 @@
+"""A6: UDP vs reliable-ordered acknowledgement channel."""
+
+import pytest
+
+from repro.experiments.ordered_channel import check_shape, run_sweep
+
+from .conftest import bench_once
+
+
+def test_bench_ordered_channel(benchmark):
+    outcomes = bench_once(benchmark, run_sweep, loss_rates=(0.0, 0.2), n_requests=100)
+    for o in outcomes:
+        benchmark.extra_info[f"{o.channel}@{o.loss_rate:.0%}"] = {
+            "p95_ms": round(o.echo_p95_ms, 1),
+            "chan_msgs": o.channel_messages,
+        }
+    assert check_shape(outcomes) == []
+    by_key = {(o.channel, o.loss_rate): o for o in outcomes}
+    # Ordering costs ~2x channel messages even with zero loss...
+    assert (
+        by_key[("ordered", 0.0)].channel_messages
+        > by_key[("udp (paper)", 0.0)].channel_messages * 1.5
+    )
+    # ...and repairs loss without waiting for client timeouts.
+    assert (
+        by_key[("ordered", 0.2)].echo_p95_ms
+        < by_key[("udp (paper)", 0.2)].echo_p95_ms
+    )

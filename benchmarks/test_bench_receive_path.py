@@ -1,0 +1,23 @@
+"""A5: receive-path variants under deposit gating (the design choice
+behind the paper's §5 timeout commentary)."""
+
+import pytest
+
+from repro.experiments.receive_path import VARIANTS, check_shape, run_all
+
+from .conftest import bench_once
+
+
+def test_bench_receive_path_variants(benchmark):
+    outcomes = bench_once(benchmark, run_all, nbuf=64)
+    benchmark.extra_info["variants"] = [o.variant for o in outcomes]
+    benchmark.extra_info["throughput_kB_per_s"] = [
+        round(o.throughput_kB_per_sec, 1) for o in outcomes
+    ]
+    benchmark.extra_info["client_RTOs"] = [o.client_timeouts for o in outcomes]
+    assert check_shape(outcomes) == []
+    by_name = {o.variant: o for o in outcomes}
+    # Staging (the paper's projected fix) eliminates client timeouts;
+    # the literal no-staging reading suffers one RTO per window.
+    assert by_name["staged"].client_timeouts == 0
+    assert by_name["no-staging"].client_timeouts > 10

@@ -1,0 +1,27 @@
+"""D2: service-scaling benefit (latency / origin load / long-haul
+traffic with and without a nearby replica)."""
+
+import pytest
+
+from repro.experiments.scaling_benefit import check_shape, run_scaling
+
+from .conftest import bench_once
+
+
+def test_bench_scaling_benefit(benchmark):
+    def run_both():
+        baseline = run_scaling(with_replica=False, requests_per_client=6)
+        scaled = run_scaling(with_replica=True, requests_per_client=6)
+        return baseline, scaled
+
+    baseline, scaled = bench_once(benchmark, run_both)
+    benchmark.extra_info["mean_latency_ms"] = {
+        "origin_only": round(baseline.mean_latency_ms, 1),
+        "with_replica": round(scaled.mean_latency_ms, 1),
+    }
+    benchmark.extra_info["origin_packets"] = {
+        "origin_only": baseline.origin_packets,
+        "with_replica": scaled.origin_packets,
+    }
+    assert check_shape(baseline, scaled) == []
+    assert scaled.mean_latency_ms < baseline.mean_latency_ms / 2

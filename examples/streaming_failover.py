@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Live broadcast surviving a server crash (the paper's §1 motivation).
+
+A media server pushes 50 frames/second to a client through HydraNet-FT.
+The primary is killed mid-broadcast; the viewer sees one bounded stall
+and then the stream continues — bit-exact, same TCP connection.
+
+Run:  python examples/streaming_failover.py
+"""
+
+from repro.apps.media import MediaClient, media_server_factory
+from repro.core import DetectorParams
+from repro.experiments.testbeds import build_ft_system
+
+FRAME_SIZE = 1200
+FRAME_INTERVAL = 0.02  # 50 fps
+N_FRAMES = 1000
+PORT = 8554
+
+
+def main():
+    system = build_ft_system(
+        seed=7,
+        n_backups=1,
+        detector=DetectorParams(threshold=3, cooldown=1.0),
+        factory=media_server_factory(
+            frame_size=FRAME_SIZE, frame_interval=FRAME_INTERVAL, n_frames=N_FRAMES
+        ),
+        port=PORT,
+    )
+    print(
+        f"broadcast: {N_FRAMES} frames x {FRAME_SIZE}B at "
+        f"{1 / FRAME_INTERVAL:.0f} fps via {system.service_ip}:{PORT}"
+    )
+    print("replicas: hs_0 (primary), hs_1 (backup, hot-standby)\n")
+
+    client = MediaClient(
+        system.client_node, system.service_ip, PORT, frame_size=FRAME_SIZE
+    )
+    conn = client.start()
+    conn.on_closed = lambda reason: None  # normal end-of-stream close
+
+    crash_at = system.sim.now + 5.0
+    system.sim.schedule_at(crash_at, system.servers[0].crash)
+    system.sim.schedule_at(
+        crash_at, lambda: print(f"t={system.sim.now:6.2f}s  CRASH: primary dies mid-broadcast")
+    )
+
+    def progress():
+        s = client.stats
+        print(
+            f"t={system.sim.now:6.2f}s  frames={s.frames_received:4d}  "
+            f"primary={'hs_1' if system.service.replicas[1].ft_port.is_primary else 'hs_0'}"
+        )
+        if not s.finished and system.sim.now < 120.0:
+            system.sim.schedule(4.0, progress)
+
+    system.sim.schedule(4.0, progress)
+    system.run_until(180.0)
+
+    stats = client.stats
+    gaps = stats.gaps()
+    print()
+    print(f"frames received : {stats.frames_received}/{N_FRAMES}")
+    print(f"stream corrupt  : {stats.corrupt}")
+    print(f"max stall       : {stats.max_stall():.2f}s (detection + fail-over)")
+    print(f"median gap      : {sorted(gaps)[len(gaps) // 2] * 1000:.1f}ms")
+    print(f"promoted backup : {system.service.replicas[1].ft_port.is_primary}")
+    assert stats.frames_received == N_FRAMES and not stats.corrupt
+    print("OK — uninterrupted broadcast across a primary failure")
+
+
+if __name__ == "__main__":
+    main()

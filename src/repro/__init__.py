@@ -1,0 +1,35 @@
+"""HydraNet-FT reproduction: network support for dependable services.
+
+A faithful Python reimplementation of "HYDRANET-FT: Network Support for
+Dependable Services" (ICDCS 2000) over a deterministic discrete-event
+network simulator.  Start with :mod:`repro.core` (the fault-tolerant
+service API), :mod:`repro.experiments` (the evaluation harness), or the
+runnable scripts in ``examples/``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    DetectorParams,
+    FtNode,
+    PortMode,
+    ReplicatedTcpService,
+)
+from repro.hydranet import HostServer, Redirector, RedirectorDaemon
+from repro.netsim import Simulator, Topology
+from repro.sockets import Node, node_for
+
+__all__ = [
+    "DetectorParams",
+    "FtNode",
+    "PortMode",
+    "ReplicatedTcpService",
+    "HostServer",
+    "Redirector",
+    "RedirectorDaemon",
+    "Simulator",
+    "Topology",
+    "Node",
+    "node_for",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""``python -m repro`` — overview and experiment launcher.
+
+Usage::
+
+    python -m repro                 # show the overview
+    python -m repro experiments     # run the full evaluation
+    python -m repro experiments --fast
+"""
+
+import sys
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "experiments":
+        from repro.experiments.runner import main as run_experiments
+
+        return run_experiments(args[1:])
+    import repro
+
+    print(repro.__doc__)
+    print("commands:")
+    print("  python -m repro experiments [--fast]   run the full evaluation")
+    print("  python -m repro.experiments.figure4    just the paper's Figure 4")
+    print("  pytest tests/                          the test suite")
+    print("  pytest benchmarks/ --benchmark-only    benchmark harness")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

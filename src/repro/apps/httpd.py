@@ -1,0 +1,157 @@
+"""A miniature HTTP/1.0-flavoured web service.
+
+Deterministic by construction (content is a pure function of the
+request path), so it can run replicated under HydraNet-FT — the
+``a_httpd`` of the paper's Figure 2.  Supports the two shapes the
+paper's motivation needs: small transactional responses (e-commerce)
+and large stateful transfers (media/data feeds).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sockets.api import Node
+from repro.tcp.tcb import TcpConnection
+
+_SIZE_RE = re.compile(rb"GET /object/(\d+) ")
+
+
+def render_object(size: int) -> bytes:
+    """The deterministic body for ``/object/<size>``."""
+    pattern = b"0123456789abcdef"
+    body = pattern * (size // len(pattern) + 1)
+    return body[:size]
+
+
+def build_response(status: int, body: bytes) -> bytes:
+    reason = {200: "OK", 404: "Not Found", 400: "Bad Request"}[status]
+    header = (
+        f"HTTP/1.0 {status} {reason}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Server: a_httpd/1.0\r\n"
+        "\r\n"
+    ).encode()
+    return header + body
+
+
+def httpd_factory(host_server) -> Callable[[TcpConnection], None]:
+    """Per-replica accept handler serving ``GET /object/<n>`` requests,
+    one per connection (HTTP/1.0 style: respond then close)."""
+
+    def on_accept(conn: TcpConnection) -> None:
+        buffered = bytearray()
+        pending = {"response": b"", "sent": 0, "responding": False}
+
+        def pump() -> None:
+            response = pending["response"]
+            while pending["sent"] < len(response):
+                accepted = conn.send(response[pending["sent"] :])
+                if accepted == 0:
+                    return  # resumed by on_send_space
+                pending["sent"] += accepted
+            conn.close()
+
+        def respond(payload: bytes) -> None:
+            pending["response"] = payload
+            pending["responding"] = True
+            conn.on_send_space = pump
+            pump()
+
+        def on_data(data: bytes) -> None:
+            if pending["responding"]:
+                return  # one request per connection
+            buffered.extend(data)
+            if b"\r\n\r\n" not in buffered:
+                return
+            match = _SIZE_RE.match(bytes(buffered))
+            if match:
+                size = int(match.group(1))
+                if size > 10_000_000:
+                    respond(build_response(400, b"too large"))
+                else:
+                    respond(build_response(200, render_object(size)))
+            else:
+                respond(build_response(404, b"no such object"))
+
+        conn.on_data = on_data
+        conn.on_remote_close = lambda: None if pending["responding"] else conn.close()
+
+    return on_accept
+
+
+def install_httpd(node: Node, port: int = 80, ip=None):
+    listener = node.listen(port, ip=ip)
+    listener.on_accept = httpd_factory(None)
+    return listener
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    body: bytes
+    elapsed: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.status == 200
+
+
+class HttpClient:
+    """Issues one GET per connection and parses the response."""
+
+    def __init__(self, node: Node, server_ip, port: int = 80):
+        self.node = node
+        self.sim = node.sim
+        self.server_ip = server_ip
+        self.port = port
+
+    def get(
+        self,
+        path: str,
+        callback: Callable[[HttpResponse], None],
+    ) -> TcpConnection:
+        started = self.sim.now
+        conn = self.node.connect(self.server_ip, self.port)
+        buffered = bytearray()
+        state = {"done": False}
+
+        def finish(status: int, body: bytes, error: Optional[str] = None) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            callback(HttpResponse(status, body, self.sim.now - started, error))
+
+        def try_parse(final: bool) -> None:
+            if b"\r\n\r\n" not in buffered:
+                if final:
+                    finish(0, b"", error="truncated response")
+                return
+            head, _, rest = bytes(buffered).partition(b"\r\n\r\n")
+            lines = head.split(b"\r\n")
+            try:
+                status = int(lines[0].split()[1])
+            except (IndexError, ValueError):
+                finish(0, b"", error="malformed status line")
+                return
+            length = None
+            for line in lines[1:]:
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            if length is None:
+                if final:
+                    finish(status, rest)
+                return
+            if len(rest) >= length:
+                finish(status, rest[:length])
+            elif final:
+                finish(status, rest, error="truncated body")
+
+        conn.on_established = lambda: conn.send(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        conn.on_data = lambda data: (buffered.extend(data), try_parse(final=False))
+        conn.on_remote_close = lambda: (try_parse(final=True), conn.close())
+        conn.on_closed = lambda reason: finish(0, b"", error=reason) if not state["done"] else None
+        return conn

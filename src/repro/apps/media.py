@@ -1,0 +1,124 @@
+"""A paced media-streaming service — the "live Web broadcast" workload
+of the paper's introduction.
+
+The server pushes fixed-size frames at a fixed rate; content is a pure
+function of the frame index, so replicas stay byte-identical.  The
+client measures inter-frame gaps: a fail-over shows up as one bounded
+stall, never as a broken stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sockets.api import Node
+from repro.tcp.tcb import TcpConnection
+
+FRAME_MAGIC = b"FRME"
+
+
+def render_frame(index: int, frame_size: int) -> bytes:
+    header = FRAME_MAGIC + index.to_bytes(4, "big")
+    body = bytes((index + i) % 256 for i in range(frame_size - len(header)))
+    return header + body
+
+
+def media_server_factory(
+    frame_size: int = 1000,
+    frame_interval: float = 0.02,
+    n_frames: int = 500,
+) -> Callable[[object], Callable[[TcpConnection], None]]:
+    """Returns a ServerFactory for :class:`ReplicatedTcpService`."""
+
+    def factory(host_server) -> Callable[[TcpConnection], None]:
+        def on_accept(conn: TcpConnection) -> None:
+            state = {"next": 0, "backlog": bytearray(), "closing": False}
+
+            def drain() -> None:
+                if conn.state.value not in ("ESTABLISHED", "CLOSE_WAIT"):
+                    return
+                while state["backlog"]:
+                    accepted = conn.send(bytes(state["backlog"]))
+                    if accepted == 0:
+                        return  # resumed by on_send_space
+                    del state["backlog"][:accepted]
+                if state["closing"]:
+                    conn.close()
+
+            def push() -> None:
+                if conn.state.value not in ("ESTABLISHED", "CLOSE_WAIT"):
+                    return
+                state["backlog"].extend(render_frame(state["next"], frame_size))
+                state["next"] += 1
+                drain()
+                if state["next"] >= n_frames:
+                    state["closing"] = True
+                    drain()
+                else:
+                    conn.sim.schedule(frame_interval, push)
+
+            conn.on_send_space = drain
+            push()
+            conn.on_remote_close = conn.close
+
+        return on_accept
+
+    return factory
+
+
+@dataclass
+class StreamStats:
+    frames_received: int = 0
+    bytes_received: int = 0
+    frame_times: list[float] = field(default_factory=list)
+    corrupt: bool = False
+    finished: bool = False
+
+    def gaps(self) -> list[float]:
+        return [
+            self.frame_times[i + 1] - self.frame_times[i]
+            for i in range(len(self.frame_times) - 1)
+        ]
+
+    def max_stall(self) -> float:
+        gaps = self.gaps()
+        return max(gaps) if gaps else 0.0
+
+
+class MediaClient:
+    """Receives the stream and verifies frame contents and ordering."""
+
+    def __init__(self, node: Node, server_ip, port: int, frame_size: int = 1000):
+        self.node = node
+        self.sim = node.sim
+        self.server_ip = server_ip
+        self.port = port
+        self.frame_size = frame_size
+        self.stats = StreamStats()
+        self._buffer = bytearray()
+        self.on_finished: Optional[Callable[[StreamStats], None]] = None
+
+    def start(self) -> TcpConnection:
+        conn = self.node.connect(self.server_ip, self.port)
+        conn.on_data = self._on_data
+        conn.on_remote_close = lambda: self._finish(conn)
+        return conn
+
+    def _on_data(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        self.stats.bytes_received += len(data)
+        while len(self._buffer) >= self.frame_size:
+            frame = bytes(self._buffer[: self.frame_size])
+            del self._buffer[: self.frame_size]
+            expected = render_frame(self.stats.frames_received, self.frame_size)
+            if frame != expected:
+                self.stats.corrupt = True
+            self.stats.frames_received += 1
+            self.stats.frame_times.append(self.sim.now)
+
+    def _finish(self, conn: TcpConnection) -> None:
+        self.stats.finished = True
+        conn.close()
+        if self.on_finished is not None:
+            self.on_finished(self.stats)

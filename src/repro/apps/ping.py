@@ -1,0 +1,176 @@
+"""Diagnostic tools over ICMP: ping and traceroute.
+
+Used by examples and tests to verify reachability and paths through
+HydraNet topologies (e.g. that a virtual-host address answers from a
+host server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.addressing import IPAddress, as_address
+from repro.netsim.host import Host
+from repro.netsim.icmp import IcmpMessage, IcmpStack, IcmpType
+
+
+def icmp_stack_for(host: Host) -> IcmpStack:
+    """Idempotently attach an ICMP stack to a host."""
+    existing = getattr(host, "_icmp", None)
+    if existing is None:
+        existing = IcmpStack(host)
+        host._icmp = existing
+    return existing
+
+
+@dataclass
+class PingStats:
+    target: IPAddress
+    sent: int = 0
+    received: int = 0
+    rtts: list[float] = field(default_factory=list)
+
+    @property
+    def loss_rate(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+    @property
+    def avg_rtt(self) -> float:
+        return sum(self.rtts) / len(self.rtts) if self.rtts else float("nan")
+
+
+class Ping:
+    """``ping -c count target``."""
+
+    def __init__(
+        self,
+        host: Host,
+        target,
+        count: int = 4,
+        interval: float = 1.0,
+        timeout: float = 2.0,
+        data_size: int = 56,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.icmp = icmp_stack_for(host)
+        self.target = as_address(target)
+        self.count = count
+        self.interval = interval
+        self.timeout = timeout
+        self.data_size = data_size
+        self.stats = PingStats(self.target)
+        self.on_done: Optional[Callable[[PingStats], None]] = None
+        self._ident = self.icmp.new_ident()
+        self._sent_at: dict[int, float] = {}
+        self._finished = False
+        self.icmp.on_echo_reply(self._ident, self._on_reply)
+
+    def start(self) -> None:
+        self._send(1)
+
+    def _send(self, seq: int) -> None:
+        self.stats.sent += 1
+        self._sent_at[seq] = self.sim.now
+        self.icmp.send_echo_request(
+            self.target, self._ident, seq, data_size=self.data_size
+        )
+        if seq < self.count:
+            self.sim.schedule(self.interval, self._send, seq + 1)
+        else:
+            self.sim.schedule(self.timeout, self._finish)
+
+    def _on_reply(self, message: IcmpMessage, src: IPAddress) -> None:
+        sent_at = self._sent_at.pop(message.seq, None)
+        if sent_at is None:
+            return
+        self.stats.received += 1
+        self.stats.rtts.append(self.sim.now - sent_at)
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self.on_done is not None:
+            self.on_done(self.stats)
+
+
+@dataclass
+class TracerouteHop:
+    ttl: int
+    address: Optional[IPAddress]
+    rtt: Optional[float]
+
+
+class Traceroute:
+    """TTL-stepping route discovery (requires ``enable_icmp_errors`` on
+    the routers along the path)."""
+
+    def __init__(self, host: Host, target, max_hops: int = 16, probe_timeout: float = 2.0):
+        self.host = host
+        self.sim = host.sim
+        self.icmp = icmp_stack_for(host)
+        self.target = as_address(target)
+        self.max_hops = max_hops
+        self.probe_timeout = probe_timeout
+        self.hops: list[TracerouteHop] = []
+        self.on_done: Optional[Callable[[list[TracerouteHop]], None]] = None
+        self._ident = self.icmp.new_ident()
+        self._current_ttl = 0
+        self._probe_sent_at = 0.0
+        self._probe_timer = None
+        self._done = False
+        self.icmp.on_echo_reply(self._ident, self._on_reply)
+        self.icmp.on_error(self._on_error)
+
+    def start(self) -> None:
+        self._next_probe()
+
+    def _next_probe(self) -> None:
+        self._current_ttl += 1
+        if self._current_ttl > self.max_hops:
+            self._finish()
+            return
+        self._probe_sent_at = self.sim.now
+        self.icmp.send_echo_request(
+            self.target, self._ident, self._current_ttl, ttl=self._current_ttl
+        )
+        self._probe_timer = self.sim.schedule(self.probe_timeout, self._probe_timed_out)
+
+    def _probe_timed_out(self) -> None:
+        self.hops.append(TracerouteHop(self._current_ttl, None, None))
+        self._next_probe()
+
+    def _record(self, address: IPAddress, final: bool) -> None:
+        if self._probe_timer is not None:
+            self._probe_timer.cancel()
+        self.hops.append(
+            TracerouteHop(self._current_ttl, address, self.sim.now - self._probe_sent_at)
+        )
+        if final:
+            self._finish()
+        else:
+            self._next_probe()
+
+    def _on_reply(self, message: IcmpMessage, src: IPAddress) -> None:
+        if not self._done and message.seq == self._current_ttl:
+            self._record(src, final=True)
+
+    def _on_error(self, message: IcmpMessage, src: IPAddress) -> None:
+        if self._done or message.type != IcmpType.TTL_EXCEEDED:
+            return
+        if message.about is None:
+            return
+        about_src, about_dst, protocol, _ident = message.about
+        if about_dst == self.target:
+            self._record(src, final=False)
+
+    def _finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        if self.on_done is not None:
+            self.on_done(self.hops)

@@ -1,0 +1,477 @@
+"""The ft-TCP stack (paper §4.1, §4.3): replica-side machinery that
+turns an ordinary TCP listener into one replica of a fault-tolerant
+service.
+
+Per replicated port this module maintains:
+
+* the *deposit gate* — server ``Si`` deposits byte ``k`` into the
+  socket buffer only after the successor ``S(i+1)`` reported an
+  acknowledgement number beyond ``k`` (the last backup deposits
+  immediately);
+* the *output gate* — ``Si`` sends byte ``k`` of the response only
+  after the successor reported a sequence number ≥ ``k``;
+* the *output filter* — a backup's outgoing packets are never sent to
+  the client; their SEQUENCE/ACKNOWLEDGEMENT numbers travel up the
+  acknowledgement channel and the packet is discarded;
+* the *failure estimator* — repeated client retransmissions observed
+  at the port trigger a failure report to the redirector;
+* *chain updates* — the management protocol re-chains replicas and
+  promotes a backup to primary during fail-over.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.addressing import IPAddress, as_address
+from repro.netsim.packet import TCPSegment
+from repro.netsim.simulator import Timer
+from repro.tcp.seqnum import seq_add, seq_diff
+from repro.tcp.stack import Listener, deterministic_iss
+from repro.tcp.tcb import TcpConnection, TcpState
+
+from .ack_channel import AckChannelEndpoint, AckChannelMessage
+from .failure_detector import RetransmissionDetector
+from .replicated_port import DetectorParams, PortMode, ReplicatedPortTable
+
+if TYPE_CHECKING:
+    from repro.hydranet.daemons import HostServerDaemon
+    from repro.hydranet.host_server import HostServer
+    from repro.hydranet.mgmt import ChainUpdate
+    from repro.tcp.options import TcpOptions
+
+ClientKey = tuple[IPAddress, int]
+
+
+class FtError(RuntimeError):
+    pass
+
+
+class FtConnectionState:
+    """Per-connection fault-tolerance state on one replica."""
+
+    def __init__(self, port: "FtPort", conn: TcpConnection, gated: bool):
+        self.port = port
+        self.conn = conn
+        self.created_at = port.sim.now
+        #: Whether this replica waits on a successor for this
+        #: connection.  Set at connection creation from the chain
+        #: layout; can only be cleared (successor removed) — a backup
+        #: added mid-connection has no state for it and must not gate us.
+        self.gated = gated
+        # Successor progress in stream offsets.
+        self.successor_sent_upto = 0
+        self.successor_deposited_upto = 0
+        self.successor_ip: Optional[IPAddress] = None
+        self.last_successor_msg: Optional[float] = None
+        # Messages that arrived before the handshake fixed IRS.
+        self._pending_raw: list[AckChannelMessage] = []
+
+    # -- gates installed into the TCB ---------------------------------
+
+    def deposit_ceiling(self) -> Optional[int]:
+        self._drain_pending()
+        if not self.gated:
+            return None
+        return self.successor_deposited_upto
+
+    def transmit_ceiling(self) -> Optional[int]:
+        self._drain_pending()
+        if not self.gated:
+            return None
+        return self.successor_sent_upto
+
+    # -- ack-channel input ----------------------------------------------
+
+    def apply(self, message: AckChannelMessage, sender: IPAddress) -> None:
+        self.successor_ip = sender
+        self.last_successor_msg = self.port.sim.now
+        if self.conn.irs is None:
+            if len(self._pending_raw) < 16:
+                self._pending_raw.append(message)
+            return
+        self._apply_wire(message.seq_next, message.ack)
+
+    def _apply_wire(self, seq_next: int, ack: int) -> None:
+        conn = self.conn
+        sent = seq_diff(seq_next, seq_add(conn.iss, 1))
+        deposited = seq_diff(ack, seq_add(conn.irs, 1))
+        if sent > self.successor_sent_upto:
+            self.successor_sent_upto = sent
+        if deposited > self.successor_deposited_upto:
+            self.successor_deposited_upto = deposited
+
+    def _drain_pending(self) -> None:
+        if self._pending_raw and self.conn.irs is not None:
+            pending, self._pending_raw = self._pending_raw, []
+            for message in pending:
+                self._apply_wire(message.seq_next, message.ack)
+
+    def blocked_on_successor(self) -> bool:
+        """True when this connection cannot make progress until the
+        successor reports on the acknowledgement channel."""
+        if not self.gated:
+            return False
+        conn = self.conn
+        reasm = conn.reassembler
+        if (
+            reasm.in_order_end > reasm.take_point
+            and self.successor_deposited_upto <= reasm.take_point
+        ):
+            return True  # deposit-gated data is waiting
+        if (
+            conn.send_buffer.end > conn.snd_nxt
+            and self.successor_sent_upto <= conn.snd_nxt
+        ):
+            return True  # output-gated data is waiting
+        if (
+            conn.fin_queued
+            and not conn.fin_sent
+            and self.successor_sent_upto <= conn.send_buffer.end
+        ):
+            return True  # FIN is gated
+        return False
+
+    def successor_silence(self) -> float:
+        """Seconds since the successor was last heard for this
+        connection (since creation if never heard)."""
+        last = self.last_successor_msg
+        if last is None:
+            last = self.created_at
+        return self.port.sim.now - last
+
+
+class FtPort:
+    """One replicated TCP port on one host server."""
+
+    def __init__(
+        self,
+        host_server: "HostServer",
+        service_ip: IPAddress,
+        port: int,
+        mode: PortMode,
+        detector_params: DetectorParams,
+        ack_endpoint: AckChannelEndpoint,
+        daemon: Optional["HostServerDaemon"] = None,
+    ):
+        self.host_server = host_server
+        self.sim = host_server.sim
+        self.service_ip = as_address(service_ip)
+        self.port = port
+        self.mode = mode
+        self.detector_params = detector_params
+        self.ack_endpoint = ack_endpoint
+        self.daemon = daemon
+        self.listener: Optional[Listener] = None
+        self.predecessor_ip: Optional[IPAddress] = None
+        #: Until the first chain update arrives a lone primary has no
+        #: successor and a backup pessimistically assumes it has none
+        #: either (it is last in the chain until told otherwise).
+        self.has_successor = False
+        self.states: dict[ClientKey, FtConnectionState] = {}
+        self._pending_msgs: dict[ClientKey, list[tuple[AckChannelMessage, IPAddress]]] = {}
+        self._unknown_last_seq: dict[tuple, int] = {}
+        self.detector = RetransmissionDetector(
+            self.sim, detector_params, self._report_failure
+        )
+        self.shut_down = False
+        self.promotions = 0
+        self.chain_updates_applied = 0
+        self._last_liveness_report: Optional[float] = None
+        ack_endpoint.register(self.service_ip, port, self._on_ack_channel)
+        # Active liveness check: a failure partitions the acknowledgement
+        # channel (paper §4.4); when connections are blocked on a silent
+        # successor — a state no retransmission would ever signal, e.g.
+        # a server-push stream with a dead backup — report it.
+        self._liveness_timer = Timer(self.sim, self._liveness_check)
+        self._liveness_period = max(0.25, detector_params.successor_quiet / 2)
+        self._liveness_timer.start(self._liveness_period)
+
+    @property
+    def is_primary(self) -> bool:
+        return self.mode == PortMode.PRIMARY
+
+    # -- binding ----------------------------------------------------------
+
+    def bind(
+        self,
+        on_accept: Callable[[TcpConnection], None],
+        tcp_options: Optional["TcpOptions"] = None,
+    ) -> Listener:
+        """Create the listener for the replicated port (the server
+        program's ``bind()``)."""
+        if self.listener is not None:
+            raise FtError(f"port {self.port} already bound")
+        vhost = self.host_server.v_host(self.service_ip)
+        vhost.record_bind("tcp", self.port)
+        listener = self.host_server.node.listen(
+            self.port, ip=self.service_ip, options=tcp_options
+        )
+        listener.iss_policy = deterministic_iss
+        listener.silent_on_unknown = True
+        # Repeated segments for a connection this replica has no state
+        # for (it joined mid-connection and the replicas that did know
+        # it are gone) are still a failure signal: a client is
+        # retransmitting into a service nobody answers.
+        listener.on_unknown_segment = self._on_unknown_segment
+        listener.configure_connection = self._configure_connection
+        listener.on_accept = on_accept
+        self.listener = listener
+        if self.daemon is not None:
+            self.daemon.register(self.service_ip, self.port, self.mode.value)
+        return listener
+
+    # -- connection wiring ---------------------------------------------------
+
+    def _configure_connection(self, conn: TcpConnection) -> None:
+        if self.shut_down:
+            return
+        key = (conn.remote_ip, conn.remote_port)
+        state = FtConnectionState(self, conn, gated=self.has_successor)
+        self.states[key] = state
+        conn.deposit_limit = state.deposit_ceiling
+        conn.transmit_limit = state.transmit_ceiling
+        conn.output_filter = lambda segment: self._filter_output(state, segment)
+        conn.on_retransmission_observed = (
+            lambda segment: self._on_retransmission(state, segment)
+        )
+        # A replica's own retransmissions are the failure signal for
+        # server-push traffic: with the primary dead, nothing ACKs the
+        # stream, so every live replica's TCP starts retransmitting.
+        conn.on_retransmit = lambda: self._on_retransmission(state, None)
+        for message, sender in self._pending_msgs.pop(key, []):
+            state.apply(message, sender)
+        self._prune_states()
+
+    def _prune_states(self) -> None:
+        if len(self.states) > 256:
+            self.states = {
+                key: st
+                for key, st in self.states.items()
+                if st.conn.state != TcpState.CLOSED
+            }
+
+    # -- output path (paper: backups strip flow-control info and discard) ----
+
+    def _filter_output(self, state: FtConnectionState, segment: TCPSegment) -> bool:
+        if self.shut_down:
+            return True  # a removed replica is silent
+        if self.is_primary:
+            return False  # the primary talks to the client normally
+        message = AckChannelMessage(
+            service_ip=self.service_ip,
+            service_port=self.port,
+            client_ip=state.conn.remote_ip,
+            client_port=state.conn.remote_port,
+            seq_next=seq_add(segment.seq, segment.seq_span),
+            ack=segment.ack if segment.has_ack else 0,
+        )
+        if self.predecessor_ip is not None:
+            self.ack_endpoint.send(message, self.predecessor_ip)
+        return True
+
+    # -- ack-channel input -----------------------------------------------------
+
+    def _on_ack_channel(self, message: AckChannelMessage, sender: IPAddress) -> None:
+        key = (message.client_ip, message.client_port)
+        state = self.states.get(key)
+        if state is None:
+            pending = self._pending_msgs.setdefault(key, [])
+            if len(pending) < 16 and len(self._pending_msgs) < 1024:
+                pending.append((message, sender))
+            return
+        state.apply(message, sender)
+        state.conn.gates_changed()
+
+    # -- failure detection --------------------------------------------------------
+
+    def _on_retransmission(self, state: FtConnectionState, segment: TCPSegment) -> None:
+        if self.shut_down:
+            return
+        self.detector.observe_retransmission()
+
+    def _on_unknown_segment(self, packet, segment: TCPSegment) -> None:
+        """Unknown-connection traffic flows past a mid-stream joiner all
+        the time while the primary serves it; only a REPEATED sequence
+        number — a client retransmission into the void — is a failure
+        signal."""
+        if self.shut_down:
+            return
+        key = (packet.src, segment.src_port)
+        last = self._unknown_last_seq.get(key)
+        self._unknown_last_seq[key] = segment.seq
+        if len(self._unknown_last_seq) > 512:
+            self._unknown_last_seq.clear()
+        if last is not None and last == segment.seq and segment.seq_span > 0:
+            self.detector.observe_retransmission()
+
+    def _report_failure(self) -> None:
+        if self.daemon is None or self.shut_down or self.host_server.crashed:
+            return
+        suspects = []
+        suspect = self._quiet_successor()
+        if suspect is not None:
+            suspects.append(suspect)
+        self.daemon.report_failure(self.service_ip, self.port, suspects)
+
+    def _liveness_check(self) -> None:
+        if self.shut_down or self.host_server.crashed:
+            return
+        self._liveness_timer.start(self._liveness_period)
+        if not self.has_successor or self.daemon is None:
+            return
+        quiet = self.detector_params.successor_quiet
+        now = self.sim.now
+        if (
+            self._last_liveness_report is not None
+            and now - self._last_liveness_report < self.detector_params.cooldown
+        ):
+            return
+        for state in self.states.values():
+            if (
+                state.conn.state != TcpState.CLOSED
+                and state.blocked_on_successor()
+                and state.successor_silence() > quiet
+            ):
+                self._last_liveness_report = now
+                suspects = [state.successor_ip] if state.successor_ip else []
+                self.daemon.report_failure(self.service_ip, self.port, suspects)
+                return
+
+    def _quiet_successor(self) -> Optional[IPAddress]:
+        """Name the successor as a suspect if it has gone quiet on the
+        acknowledgement channel while connections are gated on it."""
+        if not self.has_successor:
+            return None
+        quiet = self.detector_params.successor_quiet
+        for state in self.states.values():
+            if not state.gated or state.successor_ip is None:
+                continue
+            if (
+                state.last_successor_msg is not None
+                and self.sim.now - state.last_successor_msg > quiet
+            ):
+                return state.successor_ip
+        return None
+
+    # -- reconfiguration -------------------------------------------------------------
+
+    def apply_chain_update(self, update: "ChainUpdate") -> None:
+        """React to the redirector's view of the chain (paper §4.4)."""
+        if self.shut_down:
+            return
+        self.chain_updates_applied += 1
+        self.predecessor_ip = update.predecessor_ip
+        had_successor = self.has_successor
+        self.has_successor = update.has_successor
+        promoted = update.is_primary and not self.is_primary
+        if promoted:
+            self.mode = PortMode.PRIMARY
+            self.promotions += 1
+        if had_successor and not self.has_successor:
+            # Our successor left the set: stop gating existing
+            # connections on it.
+            for state in self.states.values():
+                state.gated = False
+        for state in list(self.states.values()):
+            if promoted:
+                state.conn.kick()
+            else:
+                state.conn.gates_changed()
+
+    def shutdown(self) -> None:
+        """Fail-stop: removed from the replica set, go silent."""
+        if self.shut_down:
+            return
+        self.shut_down = True
+        self._liveness_timer.stop()
+        if self.listener is not None:
+            # Stay bound but refuse (silently): a closed listener would
+            # let the stack RST the service's clients, breaking the
+            # required fail-stop silence.
+            self.listener.accept_new = False
+            self.listener.on_accept = None
+        self.ack_endpoint.unregister(self.service_ip, self.port)
+        for state in list(self.states.values()):
+            state.conn.kill_silently()
+        self.states.clear()
+
+
+class FtStack:
+    """All replicated ports of one host server, plus daemon wiring."""
+
+    def __init__(
+        self,
+        host_server: "HostServer",
+        ack_endpoint: Optional[AckChannelEndpoint] = None,
+        daemon: Optional["HostServerDaemon"] = None,
+    ):
+        self.host_server = host_server
+        self.ack_endpoint = ack_endpoint or AckChannelEndpoint(host_server)
+        self.daemon = daemon
+        self.port_table = ReplicatedPortTable()
+        self.ports: dict[tuple[IPAddress, int], FtPort] = {}
+        if daemon is not None:
+            daemon.on_chain_update = self._dispatch_chain_update
+            daemon.on_shutdown = self._dispatch_shutdown
+
+    def setportopt(
+        self,
+        port: int,
+        mode: PortMode | str,
+        detector: DetectorParams | None = None,
+    ) -> None:
+        """The ``setportopt(port, mode, detector-parameters)`` call."""
+        self.port_table.setportopt(port, mode, detector)
+
+    def listen_replicated(
+        self,
+        service_ip,
+        port: int,
+        on_accept: Callable[[TcpConnection], None],
+        tcp_options: Optional["TcpOptions"] = None,
+    ) -> FtPort:
+        """Bind a server program to a replicated port under the virtual
+        host of ``service_ip``.  ``setportopt`` must have been called."""
+        options = self.port_table.get(port)
+        if options is None:
+            raise FtError(f"port {port} is not replicated (call setportopt first)")
+        key = (as_address(service_ip), port)
+        if key in self.ports:
+            raise FtError(f"service {key[0]}:{port} already bound")
+        ft_port = FtPort(
+            self.host_server,
+            key[0],
+            port,
+            options.mode,
+            options.detector,
+            self.ack_endpoint,
+            self.daemon,
+        )
+        ft_port.bind(on_accept, tcp_options)
+        self.ports[key] = ft_port
+        return ft_port
+
+    def decommission(self, service_ip, port: int) -> None:
+        """Tear down a replica's local state for a service (used when a
+        recovered server re-joins: its pre-crash TCP state is stale and
+        must never reach a client)."""
+        key = (as_address(service_ip), port)
+        ft_port = self.ports.pop(key, None)
+        if ft_port is not None:
+            ft_port.shutdown()
+            if ft_port.listener is not None:
+                # Free the binding for the replacement FtPort.
+                ft_port.listener.close()
+        self.port_table.remove(port)
+
+    def _dispatch_chain_update(self, update: "ChainUpdate") -> None:
+        ft_port = self.ports.get((as_address(update.service_ip), update.port))
+        if ft_port is not None:
+            ft_port.apply_chain_update(update)
+
+    def _dispatch_shutdown(self, message) -> None:
+        key = (as_address(message.service_ip), message.port)
+        ft_port = self.ports.get(key)
+        if ft_port is not None:
+            ft_port.shutdown()

@@ -1,0 +1,162 @@
+"""Heartbeat-based failure detection (ablation A7 — the classic
+alternative to the paper's retransmission estimator).
+
+The paper detects failures by observing TCP retransmissions: zero
+overhead while everything works, latency coupled to client RTO backoff,
+and — crucially — blind when no traffic flows.  The textbook
+alternative keeps replicas sending periodic heartbeats to the
+redirector, which declares a replica failed after ``tolerance`` missed
+periods: constant background traffic, but bounded detection latency
+even for idle services.  Both run side by side in
+:mod:`repro.experiments.detector_comparison`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.netsim.addressing import IPAddress, as_address
+from repro.netsim.simulator import Timer
+
+from repro.hydranet.mgmt import MgmtMessage
+
+if TYPE_CHECKING:
+    from repro.hydranet.daemons import HostServerDaemon, RedirectorDaemon
+
+
+@dataclass
+class Heartbeat(MgmtMessage):
+    """Replica → redirector: still alive for this service."""
+
+    service_ip: IPAddress
+    port: int
+    server_ip: IPAddress
+    wire_size = 24
+
+
+class HeartbeatSender:
+    """Periodic heartbeats from one replica for one service."""
+
+    def __init__(
+        self,
+        daemon: "HostServerDaemon",
+        service_ip,
+        port: int,
+        period: float = 1.0,
+    ):
+        self.daemon = daemon
+        self.sim = daemon.sim
+        self.service_ip = as_address(service_ip)
+        self.port = port
+        self.period = period
+        self.sent = 0
+        self._timer = Timer(self.sim, self._beat)
+        self._stopped = False
+        self._timer.start(period)
+
+    def _beat(self) -> None:
+        if self._stopped:
+            return
+        self._timer.start(self.period)
+        if self.daemon.host_server.crashed:
+            return  # a dead host sends nothing (fail-stop)
+        self.sent += 1
+        self.daemon.channel.send_unreliable(
+            Heartbeat(self.service_ip, self.port, self.daemon.ip),
+            self.daemon.redirector_ip,
+        )
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._timer.stop()
+
+
+class HeartbeatDetector:
+    """Redirector-side: declare replicas dead after ``tolerance``
+    silent periods and trigger the normal reconfiguration path."""
+
+    def __init__(
+        self,
+        daemon: "RedirectorDaemon",
+        period: float = 1.0,
+        tolerance: int = 3,
+    ):
+        self.daemon = daemon
+        self.sim = daemon.sim
+        self.period = period
+        self.tolerance = tolerance
+        # (service key, replica ip) -> last heartbeat time.
+        self._last_heard: dict[tuple, float] = {}
+        # Replicas present in the table but never heard from: when we
+        # first noticed them (a replica that dies before its first
+        # heartbeat must still be detected).
+        self._watching: dict[tuple, float] = {}
+        self.detections = 0
+        self._timer = Timer(self.sim, self._sweep)
+        self._timer.start(period)
+
+    def on_heartbeat(self, message: Heartbeat) -> None:
+        from repro.hydranet.redirector import ServiceKey
+
+        key = (ServiceKey(as_address(message.service_ip), message.port),
+               as_address(message.server_ip))
+        self._last_heard[key] = self.sim.now
+
+    def _sweep(self) -> None:
+        self._timer.start(self.period)
+        now = self.sim.now
+        deadline = now - self.period * self.tolerance
+        suspects: dict = {}
+        current: set[tuple] = set()
+        for service_key, entry in list(self.daemon.redirector.table.items()):
+            if not entry.fault_tolerant:
+                continue
+            for replica in entry.replicas:
+                key = (service_key, replica)
+                current.add(key)
+                heard = self._last_heard.get(key)
+                if heard is None:
+                    # Never heard: start the clock when first noticed.
+                    heard = self._watching.setdefault(key, now)
+                if heard < deadline:
+                    suspects.setdefault(service_key, set()).add(replica)
+        # Forget replicas no longer in the table.
+        self._last_heard = {k: v for k, v in self._last_heard.items() if k in current}
+        self._watching = {k: v for k, v in self._watching.items() if k in current}
+        for service_key, dead in suspects.items():
+            self.detections += 1
+            for replica in dead:
+                self._last_heard.pop((service_key, replica), None)
+                self._watching.pop((service_key, replica), None)
+            self.daemon._remove_and_rechain(service_key, dead)
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+
+def enable_heartbeats(
+    redirector_daemon: "RedirectorDaemon",
+    ft_nodes,
+    service_ip,
+    port: int,
+    period: float = 1.0,
+    tolerance: int = 3,
+) -> tuple[HeartbeatDetector, list[HeartbeatSender]]:
+    """Wire heartbeat detection for one service: a detector on the
+    redirector plus a sender per replica."""
+    detector = HeartbeatDetector(redirector_daemon, period, tolerance)
+    original = redirector_daemon._on_message
+
+    def with_heartbeats(message, src_ip, src_port):
+        if isinstance(message, Heartbeat):
+            detector.on_heartbeat(message)
+            return
+        original(message, src_ip, src_port)
+
+    redirector_daemon._on_message = with_heartbeats
+    redirector_daemon.channel.on_message = with_heartbeats
+    senders = [
+        HeartbeatSender(node.daemon, service_ip, port, period) for node in ft_nodes
+    ]
+    return detector, senders

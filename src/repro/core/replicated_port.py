@@ -1,0 +1,84 @@
+"""Replicated ports (paper §4.1).
+
+A TCP port is marked *replicated* with::
+
+    setportopt(port, mode, detector_parameters)
+
+before the server program binds to it.  ``mode`` says whether the
+replica binding to the port acts as the primary or a backup, and the
+detector parameters tune the failure estimator for the port.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PortMode(enum.Enum):
+    PRIMARY = "primary"
+    BACKUP = "backup"
+
+
+@dataclass(frozen=True)
+class DetectorParams:
+    """Failure-detector tuning for one replicated port.
+
+    ``threshold`` is the number of observed client retransmissions
+    before a reconfiguration is initiated — the paper's trade-off
+    between detection latency and false positives.  It should stay
+    above TCP's own fast-retransmit trigger (3 duplicate ACKs) so the
+    detector does not interfere with congestion control.
+    """
+
+    threshold: int = 4
+    #: Retransmissions are counted within a sliding window this long.
+    window: float = 10.0
+    #: Minimum spacing between successive failure reports.
+    cooldown: float = 2.0
+    #: The successor is named as a suspect if the acknowledgement
+    #: channel has been quiet for this long while connections stall.
+    successor_quiet: float = 1.0
+
+    def __post_init__(self):
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.window <= 0 or self.cooldown < 0:
+            raise ValueError("bad detector window/cooldown")
+
+
+@dataclass
+class ReplicatedPortOptions:
+    port: int
+    mode: PortMode
+    detector: DetectorParams
+
+
+class ReplicatedPortTable:
+    """The per-host kernel table behind ``setportopt``."""
+
+    def __init__(self):
+        self._table: dict[int, ReplicatedPortOptions] = {}
+
+    def setportopt(
+        self,
+        port: int,
+        mode: PortMode | str,
+        detector: DetectorParams | None = None,
+    ) -> ReplicatedPortOptions:
+        """Mark ``port`` as replicated.  Re-issuing changes the mode
+        (used when a backup is promoted)."""
+        if isinstance(mode, str):
+            mode = PortMode(mode)
+        options = ReplicatedPortOptions(port, mode, detector or DetectorParams())
+        self._table[port] = options
+        return options
+
+    def get(self, port: int) -> ReplicatedPortOptions | None:
+        return self._table.get(port)
+
+    def is_replicated(self, port: int) -> bool:
+        return port in self._table
+
+    def remove(self, port: int) -> None:
+        self._table.pop(port, None)

@@ -1,0 +1,190 @@
+"""High-level orchestration: deploy a fault-tolerant TCP service.
+
+This is the public API a downstream user starts from:
+
+.. code-block:: python
+
+    node_a = FtNode(host_server_a, redirector.ip)
+    node_b = FtNode(host_server_b, redirector.ip)
+    service = ReplicatedTcpService("192.20.225.20", 80, server_factory)
+    service.add_primary(node_a)
+    service.add_backup(node_b)
+
+``server_factory`` is called once per replica and must return the
+``on_accept`` handler for that replica.  Replica server programs must
+be deterministic: every replica sees the same client byte stream and
+must produce the same response byte stream (the paper's implicit
+requirement for primary/backup output to be interchangeable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.hydranet.daemons import HostServerDaemon
+from repro.hydranet.host_server import HostServer
+from repro.netsim.addressing import IPAddress, as_address
+from repro.tcp.options import TcpOptions
+from repro.tcp.tcb import TcpConnection
+
+from .ack_channel import AckChannelEndpoint
+from .ft_tcp import FtPort, FtStack
+from .replicated_port import DetectorParams, PortMode
+
+#: A factory producing the per-replica accept handler.  It receives the
+#: replica's host server (for logging / per-replica state) and returns
+#: the ``on_accept`` callback.
+ServerFactory = Callable[[HostServer], Callable[[TcpConnection], None]]
+
+
+class FtNode:
+    """A host server fully equipped for HydraNet-FT: management daemon,
+    acknowledgement-channel endpoint, and ft-TCP stack.
+
+    ``ordered_channel=True`` swaps in the reliable in-order channel the
+    paper rejected (ablation A6); all replicas of a service must agree
+    on the channel flavour.
+    """
+
+    def __init__(self, host_server: HostServer, redirector_ip, ordered_channel: bool = False):
+        from .ack_channel import OrderedAckChannelEndpoint
+
+        self.host_server = host_server
+        self.daemon = HostServerDaemon(host_server, redirector_ip)
+        endpoint_cls = OrderedAckChannelEndpoint if ordered_channel else AckChannelEndpoint
+        self.ack_endpoint = endpoint_cls(host_server)
+        self.stack = FtStack(host_server, self.ack_endpoint, self.daemon)
+
+    @property
+    def name(self) -> str:
+        return self.host_server.name
+
+    @property
+    def ip(self) -> IPAddress:
+        return self.host_server.ip
+
+
+@dataclass
+class ReplicaHandle:
+    node: FtNode
+    ft_port: FtPort
+
+    @property
+    def mode(self) -> PortMode:
+        return self.ft_port.mode
+
+    @property
+    def is_primary(self) -> bool:
+        return self.ft_port.is_primary
+
+
+class ReplicatedTcpService:
+    """One fault-tolerant service access point and its replicas."""
+
+    def __init__(
+        self,
+        service_ip,
+        port: int,
+        server_factory: ServerFactory,
+        detector: Optional[DetectorParams] = None,
+        tcp_options: Optional[TcpOptions] = None,
+    ):
+        self.service_ip = as_address(service_ip)
+        self.port = port
+        self.server_factory = server_factory
+        self.detector = detector or DetectorParams()
+        self.tcp_options = tcp_options
+        self.replicas: list[ReplicaHandle] = []
+
+    def add_primary(self, node: FtNode) -> ReplicaHandle:
+        return self._add(node, PortMode.PRIMARY)
+
+    def add_backup(self, node: FtNode) -> ReplicaHandle:
+        return self._add(node, PortMode.BACKUP)
+
+    def _add(self, node: FtNode, mode: PortMode) -> ReplicaHandle:
+        node.stack.setportopt(self.port, mode, self.detector)
+        on_accept = self.server_factory(node.host_server)
+        ft_port = node.stack.listen_replicated(
+            self.service_ip, self.port, on_accept, self.tcp_options
+        )
+        handle = ReplicaHandle(node, ft_port)
+        self.replicas.append(handle)
+        return handle
+
+    def remove_replica(self, handle: ReplicaHandle, reason: str = "voluntary") -> None:
+        """Voluntary departure (paper §4.4 deletion procedures)."""
+        handle.node.daemon.unregister(self.service_ip, self.port, reason)
+        handle.ft_port.shutdown()
+        if handle in self.replicas:
+            self.replicas.remove(handle)
+
+    def recommission(self, handle: ReplicaHandle) -> ReplicaHandle:
+        """Re-commission a recovered server (EXTENSION — the paper's §6
+        lists this as future work).
+
+        The recovered replica re-joins as the *last backup* in the
+        chain: its pre-failure TCP state is discarded (connections it
+        held are stale and are killed silently, never resumed), and it
+        participates fully in connections opened from now on.  Existing
+        connections on the surviving replicas do not gate on it — chain
+        membership is per-connection (DESIGN.md §5b).
+        """
+        node = handle.node
+        if node.host_server.crashed:
+            raise RuntimeError(f"{node.name} is still crashed; recover() it first")
+        node.stack.decommission(self.service_ip, self.port)
+        if handle in self.replicas:
+            self.replicas.remove(handle)
+        return self.add_backup(node)
+
+    @property
+    def primary(self) -> Optional[ReplicaHandle]:
+        """The live primary (a crashed ex-primary never learns it was
+        removed, so crashed hosts are excluded here)."""
+        for handle in self.replicas:
+            if (
+                handle.is_primary
+                and not handle.ft_port.shut_down
+                and not handle.node.host_server.crashed
+            ):
+                return handle
+        return None
+
+    def status(self) -> str:
+        """Operator-style report of the replica set and its chain."""
+        lines = [
+            f"service {self.service_ip}:{self.port} "
+            f"({len(self.replicas)} replicas, detector threshold "
+            f"{self.detector.threshold})"
+        ]
+        for handle in self.replicas:
+            port = handle.ft_port
+            host = handle.node.host_server
+            if host.crashed:
+                state = "CRASHED"
+            elif port.shut_down:
+                state = "shut down"
+            else:
+                state = "primary" if port.is_primary else "backup"
+            chain = []
+            if port.predecessor_ip is not None:
+                chain.append(f"pred={port.predecessor_ip}")
+            chain.append(f"succ={'yes' if port.has_successor else 'no'}")
+            lines.append(
+                f"  {host.name:12s} {state:10s} "
+                f"conns={len(port.states)} "
+                f"promotions={port.promotions} "
+                f"detector_reports={port.detector.reports} "
+                f"[{' '.join(chain)}]"
+            )
+        return "\n".join(lines)
+
+    @property
+    def live_replicas(self) -> list[ReplicaHandle]:
+        return [
+            h
+            for h in self.replicas
+            if not h.ft_port.shut_down and not h.node.host_server.crashed
+        ]

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per paper figure/table plus ablations.
+
+* ``figure4``         — the paper's throughput figure (4 configurations)
+* ``backups_sweep``   — A1: chain length
+* ``failover``        — A2/D1: detector threshold, fail-over, transparency
+* ``ack_channel_loss``— A3: unreliable acknowledgement channel
+* ``fragmentation``   — A4: MTU/fragmentation effects
+* ``receive_path``    — A5: gated receive-path design variants
+* ``runner``          — run everything
+"""
+
+from .testbeds import (
+    CLIENT_486,
+    FIGURE4_BUILDERS,
+    FtSystem,
+    REDIRECTOR_486,
+    SERVER_P120,
+    SERVICE_IP,
+    TTCP_PORT,
+    TtcpRun,
+    build_clean,
+    build_ft_system,
+    build_no_redirection,
+    build_primary_backup,
+    build_primary_only,
+)
+
+__all__ = [
+    "CLIENT_486",
+    "FIGURE4_BUILDERS",
+    "FtSystem",
+    "REDIRECTOR_486",
+    "SERVER_P120",
+    "SERVICE_IP",
+    "TTCP_PORT",
+    "TtcpRun",
+    "build_clean",
+    "build_ft_system",
+    "build_no_redirection",
+    "build_primary_backup",
+    "build_primary_only",
+]

@@ -1,0 +1,86 @@
+"""Ablation A1: throughput vs chain length (number of backups).
+
+The paper (§4.3) daisy-chains backups; every extra backup adds one more
+acknowledgement-channel hop ahead of the primary's reply and one more
+multicast copy at the redirector.  This sweep quantifies that cost.
+
+Run with:  python -m repro.experiments.backups_sweep
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.metrics.tables import format_comparison
+
+from .testbeds import build_clean, build_primary_backup
+
+DEFAULT_BACKUP_COUNTS = (0, 1, 2, 4)
+
+
+def run_backups_sweep(
+    backup_counts: Sequence[int] = DEFAULT_BACKUP_COUNTS,
+    sizes: Sequence[int] = (256, 1024),
+    nbuf: int = 1024,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Returns series keyed ``backups=N`` (plus a clean baseline), one
+    value per packet size."""
+    results: dict[str, list[float]] = {"clean": []}
+    for size in sizes:
+        run = build_clean(seed=seed)
+        results["clean"].append(run.run(buflen=size, nbuf=nbuf).throughput_kB_per_sec)
+    for n in backup_counts:
+        key = f"backups={n}"
+        results[key] = []
+        for size in sizes:
+            run = build_primary_backup(seed=seed, n_backups=n)
+            result = run.run(buflen=size, nbuf=nbuf)
+            if not result.completed:
+                raise RuntimeError(f"{key} @ {size}B incomplete")
+            results[key].append(result.throughput_kB_per_sec)
+    return results
+
+
+def check_shape(results: dict[str, list[float]], backup_counts: Sequence[int]) -> list[str]:
+    problems = []
+    for i in range(len(backup_counts) - 1):
+        lo_key = f"backups={backup_counts[i]}"
+        hi_key = f"backups={backup_counts[i + 1]}"
+        for j, (lo, hi) in enumerate(zip(results[lo_key], results[hi_key])):
+            if hi > lo * 1.05:
+                problems.append(
+                    f"{hi_key} ({hi:.0f}) beat {lo_key} ({lo:.0f}) at size index {j}"
+                )
+    return problems
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    fast = "--fast" in args
+    sizes = (256, 1024)
+    counts = (0, 1, 2) if fast else DEFAULT_BACKUP_COUNTS
+    nbuf = 256 if fast else 1024
+    results = run_backups_sweep(backup_counts=counts, sizes=sizes, nbuf=nbuf)
+    print(
+        format_comparison(
+            "A1: ttcp throughput [kB/s] vs number of backups",
+            "size",
+            list(sizes),
+            results,
+            note="(chain length = backups + 1 primary; 0 backups = redirected primary only)",
+        )
+    )
+    problems = check_shape(results, counts)
+    if problems:
+        print("\nSHAPE CHECK FAILURES:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nShape check: OK (throughput non-increasing in chain length)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

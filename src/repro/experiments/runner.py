@@ -1,0 +1,67 @@
+"""Run every experiment in the reproduction and print the full report.
+
+Usage::
+
+    python -m repro.experiments.runner [--fast]
+
+``--fast`` shrinks the sweeps (useful for CI smoke runs).  Each
+experiment module is also runnable on its own.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from . import (
+    ack_channel_loss,
+    backups_sweep,
+    detector_comparison,
+    failover,
+    figure4,
+    fragmentation,
+    ordered_channel,
+    receive_path,
+    scaling_benefit,
+)
+
+EXPERIMENTS = [
+    ("Figure 4 (main result)", figure4),
+    ("A1 backups sweep", backups_sweep),
+    ("A2 fail-over / detector threshold", failover),
+    ("A3 acknowledgement-channel loss", ack_channel_loss),
+    ("A4 fragmentation", fragmentation),
+    ("A5 receive-path ablation", receive_path),
+    ("A6 ordered acknowledgement channel", ordered_channel),
+    ("A7 failure-detector comparison", detector_comparison),
+    ("D2 service scaling (load diffusion)", scaling_benefit),
+]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    failures = []
+    for title, module in EXPERIMENTS:
+        banner = f"### {title} ###"
+        print("\n" + "#" * len(banner))
+        print(banner)
+        print("#" * len(banner) + "\n")
+        started = time.time()
+        status = module.main(args)
+        print(f"\n[{title}: {'OK' if status == 0 else 'FAILED'} "
+              f"in {time.time() - started:.1f}s wall]")
+        if status != 0:
+            failures.append(title)
+    print("\n" + "=" * 60)
+    if failures:
+        print("FAILED experiments:")
+        for title in failures:
+            print(f"  - {title}")
+        return 1
+    print(f"All {len(EXPERIMENTS)} experiments completed with shape checks OK.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Deterministic fault injection for experiments."""
+
+from .injection import FaultEvent, FaultPlan
+
+__all__ = ["FaultEvent", "FaultPlan"]

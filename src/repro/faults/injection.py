@@ -1,0 +1,124 @@
+"""Fault injection: crashes, partitions, loss bursts, congestion.
+
+Everything is scheduled on the simulator, so experiments declare a
+fault plan up front and stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class FaultEvent:
+    time: float
+    kind: str
+    target: str
+
+
+class FaultPlan:
+    """A declarative schedule of faults; keeps a log of what fired."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.log: list[FaultEvent] = []
+
+    def _record(self, kind: str, target: str) -> None:
+        self.log.append(FaultEvent(self.sim.now, kind, target))
+
+    # -- host faults ------------------------------------------------------
+
+    def crash_at(self, host: Host, at: float) -> None:
+        """Fail-stop crash at absolute time ``at``."""
+
+        def fire() -> None:
+            host.crash()
+            self._record("crash", host.name)
+
+        self.sim.schedule_at(at, fire)
+
+    def recover_at(self, host: Host, at: float) -> None:
+        def fire() -> None:
+            host.recover()
+            self._record("recover", host.name)
+
+        self.sim.schedule_at(at, fire)
+
+    def crash_for(self, host: Host, at: float, duration: float) -> None:
+        """Transient outage (e.g. reboot): crash then recover."""
+        self.crash_at(host, at)
+        self.recover_at(host, at + duration)
+
+    # -- link faults --------------------------------------------------------
+
+    def partition_at(self, link: Link, at: float, duration: Optional[float] = None) -> None:
+        """Take a link down at ``at``; heal after ``duration`` if given."""
+
+        def down() -> None:
+            link.set_up(False)
+            self._record("partition", link.name)
+
+        self.sim.schedule_at(at, down)
+        if duration is not None:
+
+            def up() -> None:
+                link.set_up(True)
+                self._record("heal", link.name)
+
+            self.sim.schedule_at(at + duration, up)
+
+    def loss_burst(self, link: Link, at: float, duration: float, loss_rate: float) -> None:
+        """Temporarily raise the link's loss rate (both directions)."""
+        original = (link.a_to_b.loss_rate, link.b_to_a.loss_rate)
+
+        def start() -> None:
+            link.set_loss_rate(loss_rate)
+            self._record("loss-burst", link.name)
+
+        def stop() -> None:
+            link.a_to_b.loss_rate, link.b_to_a.loss_rate = original
+            self._record("loss-heal", link.name)
+
+        self.sim.schedule_at(at, start)
+        self.sim.schedule_at(at + duration, stop)
+
+    def congest(
+        self, link: Link, at: float, duration: float, bandwidth_factor: float = 0.1
+    ) -> None:
+        """Model congestion as a temporary bandwidth collapse — the
+        "spurious unavailability" the paper wants to fail-stop."""
+        original = (link.a_to_b.bandwidth_bps, link.b_to_a.bandwidth_bps)
+
+        def start() -> None:
+            link.a_to_b.bandwidth_bps = original[0] * bandwidth_factor
+            link.b_to_a.bandwidth_bps = original[1] * bandwidth_factor
+            self._record("congest", link.name)
+
+        def stop() -> None:
+            link.a_to_b.bandwidth_bps, link.b_to_a.bandwidth_bps = original
+            self._record("decongest", link.name)
+
+        self.sim.schedule_at(at, start)
+        self.sim.schedule_at(at + duration, stop)
+
+    def flap(
+        self,
+        link: Link,
+        start: float,
+        period: float,
+        duty_down: float,
+        cycles: int,
+    ) -> None:
+        """A flapping link: down for ``duty_down`` then up for the rest
+        of each ``period``, repeated ``cycles`` times."""
+        for i in range(cycles):
+            at = start + i * period
+            self.partition_at(link, at, duration=duty_down)
+
+    def events_of(self, kind: str) -> list[FaultEvent]:
+        return [e for e in self.log if e.kind == kind]

@@ -1,0 +1,51 @@
+"""HydraNet base layer (paper §3): virtual hosts, host servers,
+redirectors, and the replica management protocol."""
+
+from .daemons import HostServerDaemon, RedirectorDaemon, Shutdown
+from .host_server import HOST_SERVER_SOFTWARE_OVERHEAD, HostServer
+from .mgmt import (
+    Ack,
+    ChainUpdate,
+    FailureReport,
+    MGMT_PORT,
+    MgmtMessage,
+    Ping,
+    Pong,
+    Register,
+    ReliableUdp,
+    Unregister,
+)
+from .redirector import (
+    REDIRECTOR_SOFTWARE_OVERHEAD,
+    RedirectionEntry,
+    Redirector,
+    RedirectorError,
+    ServiceKey,
+)
+from .virtual_host import VirtualHost, VirtualHostError, VirtualHostTable
+
+__all__ = [
+    "HostServerDaemon",
+    "RedirectorDaemon",
+    "Shutdown",
+    "HOST_SERVER_SOFTWARE_OVERHEAD",
+    "HostServer",
+    "Ack",
+    "ChainUpdate",
+    "FailureReport",
+    "MGMT_PORT",
+    "MgmtMessage",
+    "Ping",
+    "Pong",
+    "Register",
+    "ReliableUdp",
+    "Unregister",
+    "REDIRECTOR_SOFTWARE_OVERHEAD",
+    "RedirectionEntry",
+    "Redirector",
+    "RedirectorError",
+    "ServiceKey",
+    "VirtualHost",
+    "VirtualHostError",
+    "VirtualHostTable",
+]

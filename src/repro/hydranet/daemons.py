@@ -1,0 +1,314 @@
+"""Management daemons for redirectors and host servers (paper §4.4).
+
+The redirector daemon owns the redirector table and the acknowledgement-
+channel chain layout; host-server daemons register/unregister replicas,
+report failures, and apply chain updates to the local ft-TCP machinery
+via callbacks (wired up by :mod:`repro.core.service`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.addressing import IPAddress, as_address
+from repro.netsim.simulator import Simulator
+
+from .host_server import HostServer
+from .mgmt import (
+    Ack,
+    ChainUpdate,
+    FailureReport,
+    MGMT_PORT,
+    MgmtMessage,
+    Ping,
+    Pong,
+    Register,
+    ReliableUdp,
+    Unregister,
+)
+from .redirector import Redirector, ServiceKey
+
+
+@dataclass
+class Shutdown(MgmtMessage):
+    """Redirector → replica: you have been removed from the set; stop
+    serving (fail-stop enforcement for spuriously unavailable servers)."""
+
+    service_ip: IPAddress
+    port: int
+
+
+@dataclass
+class TableSync(MgmtMessage):
+    """Authority redirector → peer redirectors: the authoritative
+    replica list for a service.  Multiple redirectors can forward
+    traffic for a service (Figure 1 shows each client population behind
+    its own), but exactly one — the one the replicas register with —
+    owns the chain layout and reconfiguration; it pushes its table to
+    the peers so their multicast matches."""
+
+    service_ip: IPAddress
+    port: int
+    fault_tolerant: bool
+    replicas: tuple = ()
+
+
+@dataclass
+class _Reconfiguration:
+    key: ServiceKey
+    nonce: int
+    candidates: list[IPAddress]
+    responded: set[IPAddress] = field(default_factory=set)
+
+
+class RedirectorDaemon:
+    """Runs on a redirector; owns its table and the replica chains."""
+
+    def __init__(
+        self,
+        redirector: Redirector,
+        ping_timeout: float = 0.75,
+        congestion_report_threshold: int = 3,
+        congestion_report_window: float = 10.0,
+    ):
+        from repro.sockets.api import node_for
+
+        self.redirector = redirector
+        self.sim: Simulator = redirector.sim
+        self.node = node_for(redirector)
+        self.ping_timeout = ping_timeout
+        self.congestion_report_threshold = congestion_report_threshold
+        self.congestion_report_window = congestion_report_window
+        sock = self.node.udp_socket()
+        sock.bind(MGMT_PORT)
+        self.channel = ReliableUdp(self.sim, sock, self._on_message)
+        self._nonce = 0
+        self._reconfigs: dict[ServiceKey, _Reconfiguration] = {}
+        #: Peer redirectors kept in sync with this (authority) one.
+        self.peers: list[IPAddress] = []
+        # Unacknowledged Shutdown messages per (service key, replica):
+        # withdrawn if the replica re-registers before delivery (a
+        # recovered server must not be killed by a stale shutdown).
+        self._pending_shutdowns: dict[tuple, int] = {}
+        # (service, suspect) -> [report times] for the congestion rule.
+        self._report_history: dict[tuple[ServiceKey, IPAddress], list[float]] = {}
+        self.reconfigurations = 0
+        self.failovers = 0
+
+    # -- message handling ------------------------------------------------
+
+    def add_peer(self, peer_ip) -> None:
+        """Register a peer redirector to keep synchronized."""
+        self.peers.append(as_address(peer_ip))
+
+    def _on_message(self, message: MgmtMessage, src_ip: IPAddress, src_port: int) -> None:
+        if isinstance(message, Register):
+            self._handle_register(message)
+        elif isinstance(message, Unregister):
+            self._handle_unregister(message)
+        elif isinstance(message, FailureReport):
+            self._handle_failure_report(message)
+        elif isinstance(message, Pong):
+            self._handle_pong(message, src_ip)
+        elif isinstance(message, TableSync):
+            self._handle_table_sync(message)
+
+    def _handle_register(self, msg: Register) -> None:
+        # A re-registering replica withdraws any stale Shutdown still
+        # being retried toward it.
+        key = ServiceKey(as_address(msg.service_ip), msg.port)
+        stale = self._pending_shutdowns.pop((key, as_address(msg.server_ip)), None)
+        if stale is not None:
+            self.channel.cancel(stale)
+        if msg.mode == "scaling":
+            self.redirector.install_scaling(msg.service_ip, msg.port, msg.server_ip)
+            self._sync_peers(ServiceKey(as_address(msg.service_ip), msg.port))
+            return
+        if msg.mode == "primary":
+            self.redirector.install_ft_primary(msg.service_ip, msg.port, msg.server_ip)
+        elif msg.mode == "backup":
+            self.redirector.install_ft_backup(msg.service_ip, msg.port, msg.server_ip)
+        else:
+            return
+        self._push_chain_updates(ServiceKey(as_address(msg.service_ip), msg.port))
+
+    def _handle_unregister(self, msg: Unregister) -> None:
+        key = ServiceKey(as_address(msg.service_ip), msg.port)
+        entry = self.redirector.entry_for(msg.service_ip, msg.port)
+        was_ft = entry.fault_tolerant if entry else False
+        self.redirector.remove_replica(msg.service_ip, msg.port, msg.server_ip)
+        if was_ft:
+            self._push_chain_updates(key)
+        else:
+            self._sync_peers(key)
+
+    def _handle_table_sync(self, msg: TableSync) -> None:
+        """Apply the authority's replica list verbatim (peer role)."""
+        key = ServiceKey(as_address(msg.service_ip), msg.port)
+        if not msg.replicas:
+            self.redirector.remove_service(key.ip, key.port)
+            return
+        entry = self.redirector.table.get(key)
+        if entry is None:
+            from .redirector import RedirectionEntry
+
+            entry = RedirectionEntry(key)
+            self.redirector.table[key] = entry
+        entry.fault_tolerant = msg.fault_tolerant
+        entry.replicas = [as_address(r) for r in msg.replicas]
+
+    def _sync_peers(self, key: ServiceKey) -> None:
+        if not self.peers:
+            return
+        entry = self.redirector.table.get(key)
+        message_args = dict(
+            service_ip=key.ip,
+            port=key.port,
+            fault_tolerant=entry.fault_tolerant if entry else False,
+            replicas=tuple(entry.replicas) if entry else (),
+        )
+        for peer in self.peers:
+            self.channel.send(TableSync(**message_args), peer)
+
+    def _handle_failure_report(self, msg: FailureReport) -> None:
+        key = ServiceKey(as_address(msg.service_ip), msg.port)
+        entry = self.redirector.table.get(key)
+        if entry is None or not entry.fault_tolerant:
+            return
+        # Congestion rule: a suspect that stays "alive" but keeps being
+        # reported gets shut down anyway (fail-stop for spurious
+        # unavailability, paper §1/§4.4).
+        now = self.sim.now
+        for suspect in msg.suspects:
+            suspect = as_address(suspect)
+            history = self._report_history.setdefault((key, suspect), [])
+            history.append(now)
+            history[:] = [t for t in history if now - t <= self.congestion_report_window]
+            if (
+                len(history) >= self.congestion_report_threshold
+                and suspect in entry.replicas
+            ):
+                self._remove_and_rechain(key, {suspect})
+                return
+        if key in self._reconfigs:
+            return  # probe already in flight
+        self._start_probe(key)
+
+    def _start_probe(self, key: ServiceKey) -> None:
+        entry = self.redirector.table.get(key)
+        if entry is None:
+            return
+        self._nonce += 1
+        reconfig = _Reconfiguration(key, self._nonce, list(entry.replicas))
+        self._reconfigs[key] = reconfig
+        for replica in reconfig.candidates:
+            self.channel.send_unreliable(Ping(nonce=reconfig.nonce), replica)
+        self.sim.schedule(self.ping_timeout, self._finish_probe, key, reconfig)
+
+    def _handle_pong(self, msg: Pong, src_ip: IPAddress) -> None:
+        for reconfig in self._reconfigs.values():
+            if reconfig.nonce == msg.nonce:
+                reconfig.responded.add(src_ip)
+
+    def _finish_probe(self, key: ServiceKey, reconfig: _Reconfiguration) -> None:
+        if self._reconfigs.get(key) is not reconfig:
+            return
+        del self._reconfigs[key]
+        dead = {r for r in reconfig.candidates if r not in reconfig.responded}
+        if dead:
+            self._remove_and_rechain(key, dead)
+
+    def _remove_and_rechain(self, key: ServiceKey, removed: set[IPAddress]) -> None:
+        entry = self.redirector.table.get(key)
+        if entry is None:
+            return
+        old_primary = entry.primary
+        for replica in removed:
+            if replica in entry.replicas:
+                self.redirector.remove_replica(key.ip, key.port, replica)
+                shutdown = Shutdown(key.ip, key.port)
+                self._pending_shutdowns[(key, replica)] = shutdown.msg_id
+                self.channel.send(shutdown, replica)
+        self.reconfigurations += 1
+        entry = self.redirector.table.get(key)
+        if entry is None:
+            self._sync_peers(key)  # the whole service went away
+            return
+        if entry.primary != old_primary:
+            self.failovers += 1
+        self._push_chain_updates(key)
+
+    # -- chain layout -------------------------------------------------------
+
+    def _push_chain_updates(self, key: ServiceKey) -> None:
+        self._sync_peers(key)
+        entry = self.redirector.table.get(key)
+        if entry is None or not entry.fault_tolerant:
+            return
+        replicas = entry.replicas
+        for i, replica in enumerate(replicas):
+            update = ChainUpdate(
+                service_ip=key.ip,
+                port=key.port,
+                predecessor_ip=replicas[i - 1] if i > 0 else None,
+                has_successor=i < len(replicas) - 1,
+                is_primary=i == 0,
+            )
+            self.channel.send(update, replica)
+
+
+class HostServerDaemon:
+    """Runs on a host server; registers replicas and reports failures."""
+
+    def __init__(self, host_server: HostServer, redirector_ip):
+        self.host_server = host_server
+        self.sim = host_server.sim
+        self.redirector_ip = as_address(redirector_ip)
+        sock = host_server.node.udp_socket()
+        sock.bind(MGMT_PORT)
+        self.channel = ReliableUdp(self.sim, sock, self._on_message)
+        #: Wired by the ft layer (repro.core.service).
+        self.on_chain_update: Optional[Callable[[ChainUpdate], None]] = None
+        self.on_shutdown: Optional[Callable[[Shutdown], None]] = None
+        self.chain_updates_received = 0
+        self.failure_reports_sent = 0
+
+    @property
+    def ip(self) -> IPAddress:
+        return self.host_server.ip
+
+    # -- outgoing ---------------------------------------------------------
+
+    def register(self, service_ip, port: int, mode: str) -> None:
+        self.channel.send(
+            Register(as_address(service_ip), port, self.ip, mode), self.redirector_ip
+        )
+
+    def unregister(self, service_ip, port: int, reason: str = "voluntary") -> None:
+        self.channel.send(
+            Unregister(as_address(service_ip), port, self.ip, reason),
+            self.redirector_ip,
+        )
+
+    def report_failure(self, service_ip, port: int, suspects=()) -> None:
+        self.failure_reports_sent += 1
+        self.channel.send(
+            FailureReport(
+                as_address(service_ip), port, self.ip, tuple(suspects)
+            ),
+            self.redirector_ip,
+        )
+
+    # -- incoming ---------------------------------------------------------
+
+    def _on_message(self, message: MgmtMessage, src_ip: IPAddress, src_port: int) -> None:
+        if isinstance(message, Ping):
+            self.channel.send_unreliable(Pong(nonce=message.nonce), src_ip, src_port)
+        elif isinstance(message, ChainUpdate):
+            self.chain_updates_received += 1
+            if self.on_chain_update is not None:
+                self.on_chain_update(message)
+        elif isinstance(message, Shutdown):
+            if self.on_shutdown is not None:
+                self.on_shutdown(message)

@@ -1,0 +1,193 @@
+"""The replica management protocol (paper §4.4).
+
+Management daemons run on every HydraNet host server and redirector,
+"patterned after the route management infrastructure for IP": they talk
+UDP, with a thin reliable layer (message ids, acks, retransmission) for
+the non-idempotent exchanges, and interact with the local kernel
+directly (here: by calling into the redirector table / ft port table).
+
+Messages
+--------
+* ``Register`` — a server program bound a (replicated) port; tells the
+  redirector about a new scaling replica / primary / backup.
+* ``Unregister`` — voluntary departure of a replica.
+* ``ChainUpdate`` — redirector → host server: your position in the
+  acknowledgement channel (predecessor address, whether you have a
+  successor, whether you are now the primary).
+* ``FailureReport`` — host server → redirector: repeated client
+  retransmissions detected; suspected replica(s) attached.
+* ``Ping``/``Pong`` — redirector probes replica liveness during
+  reconfiguration (deliberately unreliable).
+* ``Ack`` — reliable-layer acknowledgement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.addressing import IPAddress, as_address
+from repro.netsim.simulator import Simulator, Timer
+from repro.udp.udp import UdpSocket
+
+MGMT_PORT = 5520
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class MgmtMessage:
+    """Base class: every message has a unique id for the reliable layer."""
+
+    msg_id: int = field(default_factory=lambda: next(_msg_ids), init=False)
+    wire_size = 48
+
+
+@dataclass
+class Register(MgmtMessage):
+    service_ip: IPAddress
+    port: int
+    server_ip: IPAddress
+    mode: str  # "scaling" | "primary" | "backup"
+
+
+@dataclass
+class Unregister(MgmtMessage):
+    service_ip: IPAddress
+    port: int
+    server_ip: IPAddress
+    reason: str = "voluntary"
+
+
+@dataclass
+class ChainUpdate(MgmtMessage):
+    service_ip: IPAddress
+    port: int
+    predecessor_ip: Optional[IPAddress]
+    has_successor: bool
+    is_primary: bool
+
+
+@dataclass
+class FailureReport(MgmtMessage):
+    service_ip: IPAddress
+    port: int
+    reporter_ip: IPAddress
+    suspects: tuple = ()
+
+
+@dataclass
+class Ping(MgmtMessage):
+    nonce: int = 0
+    wire_size = 16
+
+
+@dataclass
+class Pong(MgmtMessage):
+    nonce: int = 0
+    wire_size = 16
+
+
+@dataclass
+class Ack(MgmtMessage):
+    acked_id: int = 0
+    wire_size = 12
+
+
+class ReliableUdp:
+    """At-least-once delivery with dedup for the management daemons.
+
+    Retransmits every ``interval`` until an :class:`Ack` for the message
+    id arrives or ``max_tries`` is exhausted.  Receivers acknowledge and
+    deduplicate by (sender, msg_id).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sock: UdpSocket,
+        on_message: Callable[[MgmtMessage, IPAddress, int], None],
+        interval: float = 0.5,
+        max_tries: int = 8,
+    ):
+        self.sim = sim
+        self.sock = sock
+        self.on_message = on_message
+        self.interval = interval
+        self.max_tries = max_tries
+        self._pending: dict[int, Timer] = {}
+        self._seen: dict[tuple[IPAddress, int], float] = {}
+        self._host = getattr(getattr(sock, "_stack", None), "host", None)
+        self.sock.on_datagram = self._receive
+        self.messages_sent = 0
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+
+    def send(self, message: MgmtMessage, dst_ip, dst_port: int = MGMT_PORT) -> None:
+        """Send reliably (retransmit until acked)."""
+        dst = as_address(dst_ip)
+        tries = {"n": 0}
+
+        def transmit() -> None:
+            if message.msg_id not in self._pending:
+                return
+            if self._host is not None and self._host.crashed:
+                # Fail-stop: the daemon process died with the host; its
+                # queued retransmissions must never fire after a reboot.
+                self._pending.pop(message.msg_id, None)
+                return
+            tries["n"] += 1
+            if tries["n"] > self.max_tries:
+                self._pending.pop(message.msg_id, None)
+                return
+            if tries["n"] > 1:
+                self.retransmissions += 1
+            self.sock.send_to(dst, dst_port, message)
+            timer.start(self.interval)
+
+        timer = Timer(self.sim, transmit)
+        self._pending[message.msg_id] = timer
+        self.messages_sent += 1
+        transmit()
+
+    def cancel(self, msg_id: int) -> None:
+        """Withdraw an unacknowledged message (it must not be delivered
+        after circumstances changed, e.g. a Shutdown for a replica that
+        has since re-registered)."""
+        timer = self._pending.pop(msg_id, None)
+        if timer is not None:
+            timer.stop()
+
+    def send_unreliable(self, message: MgmtMessage, dst_ip, dst_port: int = MGMT_PORT) -> None:
+        self.sock.send_to(as_address(dst_ip), dst_port, message)
+        self.messages_sent += 1
+
+    def _receive(self, data: object, src_ip: IPAddress, src_port: int, dst_ip) -> None:
+        if isinstance(data, Ack):
+            timer = self._pending.pop(data.acked_id, None)
+            if timer is not None:
+                timer.stop()
+            return
+        if not isinstance(data, MgmtMessage):
+            return
+        if isinstance(data, (Ping, Pong)):
+            # Liveness probes are deliberately unreliable and not
+            # deduplicated: every probe deserves a fresh answer.
+            self.on_message(data, src_ip, src_port)
+            return
+        self.sock.send_to(src_ip, src_port, Ack(acked_id=data.msg_id))
+        key = (src_ip, data.msg_id)
+        if key in self._seen:
+            self.duplicates_dropped += 1
+            return
+        self._seen[key] = self.sim.now
+        if len(self._seen) > 4096:
+            cutoff = sorted(self._seen.values())[len(self._seen) // 2]
+            self._seen = {k: t for k, t in self._seen.items() if t > cutoff}
+        self.on_message(data, src_ip, src_port)
+
+    def cancel_all(self) -> None:
+        for timer in self._pending.values():
+            timer.stop()
+        self._pending.clear()

@@ -1,0 +1,176 @@
+"""Redirectors: routers that reroute (and for FT services, multicast)
+packets for replicated services (paper §3, §4.2).
+
+The redirector keeps a *redirector table* keyed by transport-level
+service access point — ``(service IP, port)``.  Matching packets are
+encapsulated IP-in-IP and tunnelled to the host server(s):
+
+* plain replicated (scaling) services: one copy to the nearest replica;
+* fault-tolerant services: one copy to the primary and one to each
+  backup (a simple, non-reliable multicast — reliability comes from
+  TCP's own flow/error control plus the ft-TCP machinery on the
+  servers, never from the redirector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.netsim.addressing import IPAddress, as_address
+from repro.netsim.host import HostProfile, MODERN
+from repro.netsim.nic import NIC
+from repro.netsim.packet import IPPacket, Protocol, TCPSegment, UDPDatagram
+from repro.netsim.router import Router
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import trace
+from repro.netsim.tunnel import encapsulate
+
+#: Extra CPU per packet charged by the HydraNet-modified kernel on
+#: redirectors (redirector-table lookup on every forwarded packet).
+REDIRECTOR_SOFTWARE_OVERHEAD = 40e-6
+
+
+@dataclass(frozen=True)
+class ServiceKey:
+    """Transport-level service access point."""
+
+    ip: IPAddress
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+@dataclass
+class RedirectionEntry:
+    """One row of the redirector table."""
+
+    key: ServiceKey
+    fault_tolerant: bool = False
+    #: Host-server (real) addresses.  For FT entries ``replicas[0]`` is
+    #: the primary and the rest are backups in chain order S1..SN; for
+    #: scaling entries the list is in preference ("nearest") order.
+    replicas: list[IPAddress] = field(default_factory=list)
+
+    @property
+    def primary(self) -> Optional[IPAddress]:
+        return self.replicas[0] if self.replicas else None
+
+    @property
+    def backups(self) -> list[IPAddress]:
+        return self.replicas[1:]
+
+
+class RedirectorError(RuntimeError):
+    pass
+
+
+class Redirector(Router):
+    """A router running the HydraNet(-FT) redirection software."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        profile: HostProfile = MODERN,
+        software_overhead: float = REDIRECTOR_SOFTWARE_OVERHEAD,
+    ):
+        super().__init__(sim, name, profile)
+        self.kernel.software_overhead = software_overhead
+        self.table: dict[ServiceKey, RedirectionEntry] = {}
+        self.kernel.packet_hooks.append(self._redirect_hook)
+        self.packets_redirected = 0
+        self.packets_multicast = 0
+
+    # -- table management (driven by the management daemon) -------------
+
+    def install_scaling(self, service_ip, port: int, host_server_ip) -> None:
+        """Install/extend a plain (scaling) replication entry."""
+        key = ServiceKey(as_address(service_ip), port)
+        entry = self.table.get(key)
+        if entry is None:
+            entry = RedirectionEntry(key)
+            self.table[key] = entry
+        if entry.fault_tolerant:
+            raise RedirectorError(f"{key} is a fault-tolerant service")
+        target = as_address(host_server_ip)
+        if target not in entry.replicas:
+            entry.replicas.append(target)
+
+    def install_ft_primary(self, service_ip, port: int, host_server_ip) -> None:
+        key = ServiceKey(as_address(service_ip), port)
+        entry = self.table.get(key)
+        if entry is None:
+            entry = RedirectionEntry(key, fault_tolerant=True)
+            self.table[key] = entry
+        entry.fault_tolerant = True
+        target = as_address(host_server_ip)
+        if target in entry.replicas:
+            entry.replicas.remove(target)
+        entry.replicas.insert(0, target)
+
+    def install_ft_backup(self, service_ip, port: int, host_server_ip) -> None:
+        key = ServiceKey(as_address(service_ip), port)
+        entry = self.table.get(key)
+        if entry is None:
+            entry = RedirectionEntry(key, fault_tolerant=True)
+            self.table[key] = entry
+        entry.fault_tolerant = True
+        target = as_address(host_server_ip)
+        if target not in entry.replicas:
+            entry.replicas.append(target)
+
+    def remove_replica(self, service_ip, port: int, host_server_ip) -> None:
+        key = ServiceKey(as_address(service_ip), port)
+        entry = self.table.get(key)
+        if entry is None:
+            return
+        target = as_address(host_server_ip)
+        if target in entry.replicas:
+            entry.replicas.remove(target)
+        if not entry.replicas:
+            del self.table[key]
+
+    def remove_service(self, service_ip, port: int) -> None:
+        self.table.pop(ServiceKey(as_address(service_ip), port), None)
+
+    def entry_for(self, service_ip, port: int) -> Optional[RedirectionEntry]:
+        return self.table.get(ServiceKey(as_address(service_ip), port))
+
+    # -- the data path -----------------------------------------------------
+
+    @staticmethod
+    def _destination_port(packet: IPPacket) -> Optional[int]:
+        payload = packet.payload
+        if isinstance(payload, (TCPSegment, UDPDatagram)):
+            return payload.dst_port
+        return None
+
+    def _redirect_hook(self, packet: IPPacket, nic: NIC) -> bool:
+        if packet.protocol not in (Protocol.TCP, Protocol.UDP):
+            return False
+        if packet.is_fragment:
+            # Port information lives in the first fragment only; the
+            # model never fragments before the redirector (end hosts
+            # send MTU-sized packets), so pass fragments through.
+            return False
+        port = self._destination_port(packet)
+        if port is None:
+            return False
+        entry = self.table.get(ServiceKey(packet.dst, port))
+        if entry is None or not entry.replicas:
+            return False
+        if entry.fault_tolerant:
+            self.packets_multicast += 1
+            targets = list(entry.replicas)
+        else:
+            targets = [entry.replicas[0]]
+        self.packets_redirected += 1
+        trace(self.sim, self.name, "redirect", packet)
+        source = self.interfaces[0].ip if self.interfaces else packet.src
+        for target in targets:
+            inner = replace(packet)  # shallow copy per target
+            outer = encapsulate(inner, source, target)
+            self.kernel.send_ip(outer)
+        return True

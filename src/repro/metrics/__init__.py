@@ -1,0 +1,22 @@
+"""Measurement utilities for the experiment harness."""
+
+from .connstats import ConnectionReport, report_for
+from .stats import Summary, ThroughputMeter, percentile
+from .tables import Table, format_comparison
+from .traceview import FlowKey, capture_at, flows, summarize, tcp_records, time_sequence
+
+__all__ = [
+    "ConnectionReport",
+    "report_for",
+    "Summary",
+    "ThroughputMeter",
+    "percentile",
+    "Table",
+    "format_comparison",
+    "FlowKey",
+    "capture_at",
+    "flows",
+    "summarize",
+    "tcp_records",
+    "time_sequence",
+]

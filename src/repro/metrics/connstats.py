@@ -1,0 +1,72 @@
+"""Per-connection statistics: a compact report of what a TCP connection
+did — useful in experiment output and when debugging ft-TCP behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.tcp.tcb import TcpConnection
+
+
+@dataclass
+class ConnectionReport:
+    local: str
+    remote: str
+    state: str
+    bytes_sent: int
+    bytes_received: int
+    segments_sent: int
+    segments_received: int
+    retransmitted_segments: int
+    suppressed_segments: int
+    rto_timeouts: int
+    fast_retransmits: int
+    srtt_ms: float
+    cwnd: int
+    deposited: int
+
+    @property
+    def retransmission_rate(self) -> float:
+        if self.segments_sent == 0:
+            return 0.0
+        return self.retransmitted_segments / self.segments_sent
+
+    def render(self) -> str:
+        lines = [
+            f"connection {self.local} -> {self.remote} [{self.state}]",
+            f"  sent      : {self.bytes_sent}B in {self.segments_sent} segments "
+            f"({self.retransmitted_segments} rtx, {self.suppressed_segments} suppressed)",
+            f"  received  : {self.bytes_received}B in {self.segments_received} segments "
+            f"({self.deposited}B deposited)",
+            f"  recovery  : {self.rto_timeouts} timeouts, "
+            f"{self.fast_retransmits} fast retransmits",
+            f"  path      : srtt={self.srtt_ms:.1f}ms cwnd={self.cwnd}B",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def report_for(conn: "TcpConnection") -> ConnectionReport:
+    """Snapshot a connection's statistics."""
+    srtt = conn.rto.srtt
+    return ConnectionReport(
+        local=f"{conn.local_ip}:{conn.local_port}",
+        remote=f"{conn.remote_ip}:{conn.remote_port}",
+        state=conn.state.value,
+        bytes_sent=conn.bytes_sent,
+        bytes_received=conn.bytes_received,
+        segments_sent=conn.segments_sent,
+        segments_received=conn.segments_received,
+        retransmitted_segments=conn.retransmitted_segments,
+        suppressed_segments=conn.suppressed_segments,
+        rto_timeouts=conn.congestion.timeouts,
+        fast_retransmits=conn.congestion.fast_retransmits,
+        srtt_ms=(srtt or 0.0) * 1000,
+        cwnd=conn.congestion.cwnd,
+        deposited=conn.socket_buffer.total_deposited,
+    )

@@ -1,0 +1,64 @@
+"""Plain-text result tables for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+class Table:
+    """A fixed-column text table, printed the way the paper reports
+    series (rows = parameter values, columns = configurations)."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows), 1)
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_comparison(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    note: Optional[str] = None,
+) -> str:
+    """Render multiple named series against a shared x-axis."""
+    table = Table(title, [x_label, *series.keys()])
+    for i, x in enumerate(x_values):
+        table.add_row([x, *(values[i] for values in series.values())])
+    text = table.render()
+    if note:
+        text += f"\n{note}"
+    return text

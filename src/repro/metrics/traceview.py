@@ -1,0 +1,135 @@
+"""tcpdump-flavoured views over packet traces.
+
+Attach a :class:`~repro.netsim.trace.Tracer` to a simulator and render
+what happened — per node, per connection, or as a time-sequence listing
+(time, direction, flags, seq/ack relative to the connection start),
+which is the view that makes ft-TCP gating visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.netsim.packet import IPPacket, Protocol, TCPSegment
+from repro.netsim.trace import Tracer, TraceRecord
+from repro.tcp.seqnum import seq_diff
+
+
+def tcp_records(
+    tracer: Tracer,
+    event: str = "tx",
+    node: Optional[str] = None,
+) -> list[TraceRecord]:
+    """All traced TCP packet records for an event type (optionally one
+    node's)."""
+    out = []
+    for record in tracer.records:
+        if record.event != event:
+            continue
+        if node is not None and not record.node.startswith(node):
+            continue
+        if isinstance(record.packet.payload, TCPSegment):
+            out.append(record)
+    return out
+
+
+def capture_at(tracer: Tracer, node: str) -> list[TraceRecord]:
+    """A bidirectional capture at one node: its transmitted and received
+    TCP packets merged in time order (what tcpdump on that host sees)."""
+    records = tcp_records(tracer, "tx", node=node) + tcp_records(
+        tracer, "rx", node=node
+    )
+    records.sort(key=lambda r: r.time)
+    return records
+
+
+@dataclass
+class FlowKey:
+    """A TCP connection as an unordered endpoint pair."""
+
+    ip_a: str
+    port_a: int
+    ip_b: str
+    port_b: int
+
+    @classmethod
+    def of(cls, packet: IPPacket) -> "FlowKey":
+        seg = packet.payload
+        ends = sorted(
+            [(str(packet.src), seg.src_port), (str(packet.dst), seg.dst_port)]
+        )
+        return cls(ends[0][0], ends[0][1], ends[1][0], ends[1][1])
+
+    def __hash__(self):
+        return hash((self.ip_a, self.port_a, self.ip_b, self.port_b))
+
+
+def flows(tracer: Tracer, event: str = "tx") -> dict[FlowKey, list[TraceRecord]]:
+    """Group traced TCP packets by connection."""
+    grouped: dict[FlowKey, list[TraceRecord]] = {}
+    for record in tcp_records(tracer, event=event):
+        grouped.setdefault(FlowKey.of(record.packet), []).append(record)
+    return grouped
+
+
+def time_sequence(
+    records: Iterable[TraceRecord],
+    client_ip: Optional[str] = None,
+) -> str:
+    """Render records of ONE connection as a time-sequence listing with
+    relative sequence numbers (tcpdump -S off, roughly)."""
+    records = list(records)
+    if not records:
+        return "(no records)"
+    # Establish per-direction ISNs from the first segment seen each way.
+    base_seq: dict[tuple, int] = {}
+    lines = []
+    t0 = records[0].time
+    for record in records:
+        packet = record.packet
+        seg = packet.payload
+        direction = (str(packet.src), seg.src_port)
+        if direction not in base_seq:
+            base_seq[direction] = seg.seq
+        reverse = (str(packet.dst), seg.dst_port)
+        rel_seq = seq_diff(seg.seq, base_seq[direction])
+        rel_ack = (
+            seq_diff(seg.ack, base_seq[reverse]) if reverse in base_seq and seg.has_ack else None
+        )
+        flags = []
+        if seg.syn:
+            flags.append("S")
+        if seg.fin:
+            flags.append("F")
+        if seg.rst:
+            flags.append("R")
+        if seg.has_ack:
+            flags.append(".")
+        arrow = "->"
+        if client_ip is not None and str(packet.dst) == client_ip:
+            arrow = "<-"
+        ack_part = f" ack {rel_ack}" if rel_ack is not None else ""
+        lines.append(
+            f"{record.time - t0:10.6f} {arrow} [{''.join(flags) or '-'}] "
+            f"seq {rel_seq}:{rel_seq + len(seg.data)}{ack_part} "
+            f"win {seg.window} len {len(seg.data)}"
+        )
+    return "\n".join(lines)
+
+
+def summarize(tracer: Tracer) -> str:
+    """Counter overview plus per-flow segment counts."""
+    lines = ["trace summary", "============="]
+    for key, count in sorted(tracer.counters.items()):
+        lines.append(f"  {key:24s} {count}")
+    grouped = flows(tracer)
+    if grouped:
+        lines.append("flows:")
+        for flow, records in grouped.items():
+            data = sum(len(r.packet.payload.data) for r in records)
+            lines.append(
+                f"  {flow.ip_a}:{flow.port_a} <-> {flow.ip_b}:{flow.port_b}  "
+                f"{len(records)} segments, {data} payload bytes"
+            )
+    return "\n".join(lines)

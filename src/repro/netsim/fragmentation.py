@@ -1,0 +1,140 @@
+"""IP fragmentation and reassembly.
+
+Fragmentation matters to HydraNet because IP-in-IP encapsulation at the
+redirector adds 20 bytes to packets that may already be MTU-sized; the
+paper's Figure 4 also attributes the throughput drop past the MTU to
+fragmentation.  The model mirrors IPv4: fragments carry byte offsets
+(multiples of 8), share the original packet's identification, and are
+reassembled at the final destination with a timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .packet import IP_HEADER_SIZE, FragmentData, IPPacket
+from .simulator import Simulator
+
+
+class FragmentationError(ValueError):
+    pass
+
+
+def fragment_packet(packet: IPPacket, mtu: int) -> list[IPPacket]:
+    """Split ``packet`` into fragments that fit in ``mtu``.
+
+    Returns ``[packet]`` unchanged if it already fits.  Raises
+    :class:`FragmentationError` if the packet has Don't-Fragment set or
+    the MTU cannot carry any payload.
+    """
+    if packet.wire_size <= mtu:
+        return [packet]
+    if packet.dont_fragment:
+        raise FragmentationError(
+            f"packet of {packet.wire_size}B needs fragmentation but DF is set"
+        )
+    max_data = (mtu - IP_HEADER_SIZE) // 8 * 8
+    if max_data <= 0:
+        raise FragmentationError(f"MTU {mtu} too small to fragment into")
+    total = packet.payload.wire_size
+    if packet.is_fragment:
+        raise FragmentationError("re-fragmenting fragments is not modelled")
+    fragments = []
+    offset = 0
+    while offset < total:
+        length = min(max_data, total - offset)
+        fragments.append(
+            IPPacket(
+                src=packet.src,
+                dst=packet.dst,
+                protocol=packet.protocol,
+                payload=FragmentData(
+                    length, original=packet.payload if offset == 0 else None
+                ),
+                ttl=packet.ttl,
+                ident=packet.ident,
+                frag_offset=offset,
+                more_fragments=(offset + length) < total,
+                original_payload_size=total,
+            )
+        )
+        offset += length
+    return fragments
+
+
+class _PartialPacket:
+    def __init__(self, total: Optional[int]):
+        self.total = total
+        self.ranges: list[tuple[int, int]] = []
+        self.original = None
+        self.deadline = 0.0
+
+    def add(self, frag: IPPacket) -> None:
+        payload = frag.payload
+        assert isinstance(payload, FragmentData)
+        if payload.original is not None:
+            self.original = payload.original
+        if frag.original_payload_size is not None:
+            self.total = frag.original_payload_size
+        self.ranges.append((frag.frag_offset, frag.frag_offset + payload.length))
+
+    def complete(self) -> bool:
+        if self.total is None or self.original is None:
+            return False
+        covered = 0
+        for start, end in sorted(self.ranges):
+            if start > covered:
+                return False
+            covered = max(covered, end)
+        return covered >= self.total
+
+
+class Reassembler:
+    """Per-host fragment reassembly with an IPv4-style timeout."""
+
+    def __init__(self, sim: Simulator, timeout: float = 30.0):
+        self.sim = sim
+        self.timeout = timeout
+        self._partial: dict[tuple, _PartialPacket] = {}
+        self.reassembled = 0
+        self.timed_out = 0
+
+    def push(self, frag: IPPacket) -> Optional[IPPacket]:
+        """Feed a fragment; returns the reassembled packet when the last
+        piece arrives, else None."""
+        key = (frag.src, frag.dst, frag.ident, int(frag.protocol))
+        state = self._partial.get(key)
+        if state is None:
+            state = _PartialPacket(frag.original_payload_size)
+            self._partial[key] = state
+            self.sim.schedule(self.timeout, self._expire, key, self.sim.now)
+        state.deadline = self.sim.now + self.timeout
+        state.add(frag)
+        if state.complete():
+            del self._partial[key]
+            self.reassembled += 1
+            return IPPacket(
+                src=frag.src,
+                dst=frag.dst,
+                protocol=frag.protocol,
+                payload=state.original,
+                ttl=frag.ttl,
+                ident=frag.ident,
+            )
+        return None
+
+    def _expire(self, key: tuple, created: float) -> None:
+        state = self._partial.get(key)
+        if state is None:
+            return
+        if self.sim.now >= state.deadline - 1e-12:
+            del self._partial[key]
+            self.timed_out += 1
+        else:
+            self.sim.schedule(
+                state.deadline - self.sim.now, self._expire, key, created
+            )
+
+    @property
+    def pending(self) -> int:
+        return len(self._partial)

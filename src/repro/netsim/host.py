@@ -1,0 +1,280 @@
+"""Hosts and their (simulated) kernels.
+
+A :class:`Host` owns NICs and a :class:`Kernel`.  The kernel does IP
+routing, fragmentation/reassembly, protocol demultiplexing, and charges
+per-packet CPU time according to the host's :class:`HostProfile` — the
+CPU model is what makes slow 486-era machines the bottleneck in the
+Figure 4 reproduction, exactly as in the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .addressing import IPAddress, Network, as_address
+from .fragmentation import Reassembler, fragment_packet
+from .nic import NIC
+from .packet import IPPacket, Protocol
+from .simulator import Simulator
+from .trace import trace
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """CPU cost model for protocol processing on a host.
+
+    Each packet handled (in or out) costs
+    ``per_packet_cpu + per_byte_cpu * wire_size`` seconds of CPU; the
+    CPU is a serial resource, so sustained packet rates beyond its
+    capacity queue up and throttle throughput.
+    """
+
+    name: str
+    per_packet_cpu: float
+    per_byte_cpu: float
+
+    def packet_cost(self, wire_size: int) -> float:
+        return self.per_packet_cpu + self.per_byte_cpu * wire_size
+
+
+# Profiles loosely calibrated to the paper's testbed: two Pentium/120
+# host servers, 486 client and redirector, 10 Mb/s links.  The absolute
+# values were tuned so the clean-kernel ttcp curve lands in the paper's
+# 0-600 kB/s band (see EXPERIMENTS.md).
+I486 = HostProfile("i486", per_packet_cpu=120e-6, per_byte_cpu=0.9e-6)
+PENTIUM_120 = HostProfile("pentium120", per_packet_cpu=60e-6, per_byte_cpu=0.45e-6)
+MODERN = HostProfile("modern", per_packet_cpu=1e-6, per_byte_cpu=0.001e-6)
+ZERO_COST = HostProfile("zero", per_packet_cpu=0.0, per_byte_cpu=0.0)
+
+# A packet hook inspects (packet, nic) and returns True when it consumed
+# the packet (normal processing then stops).  Redirectors are built on
+# this.
+PacketHook = Callable[[IPPacket, NIC], bool]
+
+
+@dataclass
+class Route:
+    network: Network
+    nic: NIC
+
+    def __str__(self) -> str:
+        return f"{self.network} dev {self.nic.name}"
+
+
+class Kernel:
+    """The protocol-processing core of a host."""
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self.sim = host.sim
+        self.routes: list[Route] = []
+        self.protocol_handlers: dict[int, Callable[[IPPacket], None]] = {}
+        self.packet_hooks: list[PacketHook] = []
+        self.ip_forwarding = False
+        # Extra per-packet CPU charged by modified (HydraNet) system
+        # software; 0 for a clean kernel.
+        self.software_overhead = 0.0
+        # Addresses accepted in addition to NIC addresses — the virtual
+        # host mechanism of HydraNet populates this.
+        self.virtual_addresses: set[IPAddress] = set()
+        self.reassembler = Reassembler(self.sim)
+        self._cpu_free_at = 0.0
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+
+    # -- CPU model ---------------------------------------------------
+
+    def _cpu_delay(self, wire_size: int) -> float:
+        """Charge CPU for one packet; returns the completion delay."""
+        cost = self.host.profile.packet_cost(wire_size) + self.software_overhead
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        return self._cpu_free_at - self.sim.now
+
+    def _charge_extra_fragments(self, n_extra: int) -> float:
+        """Fragmentation costs per-fragment header processing beyond
+        the per-packet charge already paid."""
+        if n_extra <= 0:
+            return 0.0
+        cost = n_extra * (self.host.profile.per_packet_cpu + self.software_overhead)
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        return self._cpu_free_at - self.sim.now
+
+    # -- routing -----------------------------------------------------
+
+    def add_route(self, network: Network | str, nic: NIC) -> None:
+        self.routes.append(Route(Network(network), nic))
+        self.routes.sort(key=lambda r: -r.network.prefix_len)
+
+    def add_default_route(self, nic: NIC) -> None:
+        self.add_route(Network("0.0.0.0/0"), nic)
+
+    def route_lookup(self, dst: IPAddress) -> Optional[NIC]:
+        for route in self.routes:
+            if dst in route.network and route.nic.up:
+                return route.nic
+        return None
+
+    def owns_address(self, address: IPAddress) -> bool:
+        if address in self.virtual_addresses:
+            return True
+        return any(nic.ip == address for nic in self.host.interfaces)
+
+    # -- protocol registration ----------------------------------------
+
+    def register_protocol(
+        self, protocol: Protocol, handler: Callable[[IPPacket], None]
+    ) -> None:
+        self.protocol_handlers[int(protocol)] = handler
+
+    # -- send path -----------------------------------------------------
+
+    def send_ip(self, packet: IPPacket) -> None:
+        """Send a locally generated packet (charges CPU, then routes)."""
+        if self.host.crashed:
+            return
+        delay = self._cpu_delay(packet.wire_size)
+        self.sim.schedule(delay, self._route_and_transmit, packet)
+
+    def _route_and_transmit(self, packet: IPPacket) -> None:
+        if self.host.crashed:
+            return
+        # Loopback / locally owned destination: deliver without a wire.
+        if self.owns_address(packet.dst):
+            self.sim.schedule(0.0, self._deliver_local, packet)
+            return
+        nic = self.route_lookup(packet.dst)
+        if nic is None:
+            self.packets_dropped += 1
+            trace(self.sim, self.host.name, "no-route", packet)
+            return
+        try:
+            fragments = fragment_packet(packet, nic.mtu)
+        except Exception:
+            self.packets_dropped += 1
+            trace(self.sim, self.host.name, "frag-fail", packet)
+            return
+        if len(fragments) > 1:
+            delay = self._charge_extra_fragments(len(fragments) - 1)
+            self.sim.schedule(delay, self._send_all, fragments, nic)
+        else:
+            nic.send(fragments[0])
+
+    def _send_all(self, fragments: list[IPPacket], nic: NIC) -> None:
+        if self.host.crashed:
+            return
+        for frag in fragments:
+            nic.send(frag)
+
+    # -- receive path ---------------------------------------------------
+
+    def receive_from_nic(self, packet: IPPacket, nic: NIC) -> None:
+        if self.host.crashed:
+            return
+        delay = self._cpu_delay(packet.wire_size)
+        self.sim.schedule(delay, self._process, packet, nic)
+
+    def _process(self, packet: IPPacket, nic: NIC) -> None:
+        if self.host.crashed:
+            return
+        for hook in list(self.packet_hooks):
+            if hook(packet, nic):
+                return
+        if self.owns_address(packet.dst):
+            self._deliver_local(packet)
+        elif self.ip_forwarding:
+            self._forward(packet)
+        else:
+            self.packets_dropped += 1
+            trace(self.sim, self.host.name, "not-mine", packet)
+
+    def _deliver_local(self, packet: IPPacket) -> None:
+        if packet.is_fragment:
+            whole = self.reassembler.push(packet)
+            if whole is None:
+                return
+            packet = whole
+        handler = self.protocol_handlers.get(int(packet.protocol))
+        if handler is None:
+            self.packets_dropped += 1
+            trace(self.sim, self.host.name, "proto-unreach", packet)
+            return
+        self.packets_delivered += 1
+        handler(packet)
+
+    def _forward(self, packet: IPPacket) -> None:
+        if packet.ttl <= 1:
+            self.packets_dropped += 1
+            trace(self.sim, self.host.name, "ttl-expired", packet)
+            return
+        packet.ttl -= 1
+        nic = self.route_lookup(packet.dst)
+        if nic is None:
+            self.packets_dropped += 1
+            trace(self.sim, self.host.name, "no-route", packet)
+            return
+        try:
+            fragments = fragment_packet(packet, nic.mtu)
+        except Exception:
+            self.packets_dropped += 1
+            trace(self.sim, self.host.name, "frag-fail", packet)
+            return
+        self.packets_forwarded += 1
+        if len(fragments) > 1:
+            delay = self._charge_extra_fragments(len(fragments) - 1)
+            self.sim.schedule(delay, self._send_all, fragments, nic)
+        else:
+            nic.send(fragments[0])
+
+
+class Host:
+    """A simulated machine: NICs, a kernel, and attached protocol stacks.
+
+    Protocol stacks (UDP, TCP) and applications attach themselves via
+    their own constructors; the host only provides the substrate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        profile: HostProfile = MODERN,
+    ):
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.interfaces: list[NIC] = []
+        self.kernel = Kernel(self)
+        self.crashed = False
+
+    def add_interface(
+        self,
+        ip: IPAddress | str,
+        network: Network | str,
+        mtu: int = 1500,
+    ) -> NIC:
+        nic = NIC(self, as_address(ip), Network(network), mtu=mtu)
+        self.interfaces.append(nic)
+        self.kernel.add_route(nic.network, nic)
+        return nic
+
+    @property
+    def ip(self) -> IPAddress:
+        """Primary address (first interface) — convenience for tests."""
+        if not self.interfaces:
+            raise RuntimeError(f"{self.name} has no interfaces")
+        return self.interfaces[0].ip
+
+    def crash(self) -> None:
+        """Fail-stop: the host stops sending and receiving instantly."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        ips = ",".join(str(nic.ip) for nic in self.interfaces)
+        return f"<Host {self.name} [{ips}]>"

@@ -1,0 +1,186 @@
+"""ICMP: echo (ping), destination unreachable, TTL exceeded.
+
+Gives the internetwork real control-plane behaviour: routers report
+expired TTLs and missing routes, hosts report closed protocol ports,
+and the diagnostic tools in :mod:`repro.apps.ping` build on it.
+Error generation follows the usual rules: never about an ICMP error,
+never about a non-initial fragment.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .addressing import IPAddress
+from .host import Host, Kernel
+from .packet import IPPacket, Payload, Protocol
+
+
+class IcmpType(enum.Enum):
+    ECHO_REQUEST = "echo-request"
+    ECHO_REPLY = "echo-reply"
+    DEST_UNREACHABLE = "dest-unreachable"
+    TTL_EXCEEDED = "ttl-exceeded"
+    PORT_UNREACHABLE = "port-unreachable"
+
+
+_icmp_seq = itertools.count(1)
+
+
+@dataclass
+class IcmpMessage(Payload):
+    type: IcmpType
+    ident: int = 0
+    seq: int = 0
+    #: For errors: (src, dst, protocol, ident) of the offending packet.
+    about: Optional[tuple] = None
+    data_size: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + self.data_size
+
+
+class IcmpStack:
+    """Per-host ICMP: answers echo requests, demultiplexes replies and
+    errors to interested listeners."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.sim = host.sim
+        host.kernel.register_protocol(Protocol.ICMP, self._receive)
+        # ident -> handler(message, source_ip)
+        self._echo_listeners: dict[int, Callable[[IcmpMessage, IPAddress], None]] = {}
+        self._error_listeners: list[Callable[[IcmpMessage, IPAddress], None]] = []
+        self.echo_requests_answered = 0
+        self.errors_received = 0
+
+    def new_ident(self) -> int:
+        return next(_icmp_seq)
+
+    def on_echo_reply(
+        self, ident: int, handler: Callable[[IcmpMessage, IPAddress], None]
+    ) -> None:
+        self._echo_listeners[ident] = handler
+
+    def on_error(self, handler: Callable[[IcmpMessage, IPAddress], None]) -> None:
+        self._error_listeners.append(handler)
+
+    def send_echo_request(
+        self, dst: IPAddress, ident: int, seq: int, data_size: int = 56, ttl: int = 64
+    ) -> None:
+        message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=ident, seq=seq, data_size=data_size)
+        self.host.kernel.send_ip(
+            IPPacket(
+                src=self._source_for(dst),
+                dst=dst,
+                protocol=Protocol.ICMP,
+                payload=message,
+                ttl=ttl,
+            )
+        )
+
+    def _source_for(self, dst: IPAddress) -> IPAddress:
+        nic = self.host.kernel.route_lookup(dst)
+        if nic is None and self.host.interfaces:
+            nic = self.host.interfaces[0]
+        if nic is None:
+            raise RuntimeError(f"{self.host.name}: no usable interface")
+        return nic.ip
+
+    def _receive(self, packet: IPPacket) -> None:
+        message = packet.payload
+        if not isinstance(message, IcmpMessage):
+            return
+        if message.type == IcmpType.ECHO_REQUEST:
+            self.echo_requests_answered += 1
+            reply = IcmpMessage(
+                IcmpType.ECHO_REPLY,
+                ident=message.ident,
+                seq=message.seq,
+                data_size=message.data_size,
+            )
+            self.host.kernel.send_ip(
+                IPPacket(
+                    src=packet.dst,
+                    dst=packet.src,
+                    protocol=Protocol.ICMP,
+                    payload=reply,
+                )
+            )
+        elif message.type == IcmpType.ECHO_REPLY:
+            handler = self._echo_listeners.get(message.ident)
+            if handler is not None:
+                handler(message, packet.src)
+        else:
+            self.errors_received += 1
+            for handler in list(self._error_listeners):
+                handler(message, packet.src)
+
+
+def _may_report(packet: IPPacket) -> bool:
+    """ICMP errors are never generated about ICMP errors or about
+    non-initial fragments."""
+    if packet.frag_offset > 0:
+        return False
+    if packet.protocol == Protocol.ICMP:
+        payload = packet.payload
+        if isinstance(payload, IcmpMessage) and payload.type not in (
+            IcmpType.ECHO_REQUEST,
+            IcmpType.ECHO_REPLY,
+        ):
+            return False
+    return True
+
+
+def send_icmp_error(
+    kernel: Kernel, about_packet: IPPacket, error_type: IcmpType
+) -> None:
+    """Emit an ICMP error concerning ``about_packet`` back to its source."""
+    if not _may_report(about_packet):
+        return
+    source_nic = kernel.route_lookup(about_packet.src)
+    if source_nic is None:
+        return
+    message = IcmpMessage(
+        error_type,
+        about=(
+            about_packet.src,
+            about_packet.dst,
+            int(about_packet.protocol),
+            about_packet.ident,
+        ),
+        data_size=28,  # IP header + 8 bytes of the offender, classic
+    )
+    kernel.send_ip(
+        IPPacket(
+            src=source_nic.ip,
+            dst=about_packet.src,
+            protocol=Protocol.ICMP,
+            payload=message,
+        )
+    )
+
+
+def enable_icmp_errors(host: Host) -> None:
+    """Patch a host's kernel to emit TTL-exceeded and net-unreachable
+    errors instead of dropping silently (opt-in; routers in diagnostic
+    topologies use it, high-volume experiments skip the overhead)."""
+    kernel = host.kernel
+    original_forward = kernel._forward
+
+    def forward_with_errors(packet: IPPacket) -> None:
+        if packet.ttl <= 1:
+            kernel.packets_dropped += 1
+            send_icmp_error(kernel, packet, IcmpType.TTL_EXCEEDED)
+            return
+        if kernel.route_lookup(packet.dst) is None:
+            kernel.packets_dropped += 1
+            send_icmp_error(kernel, packet, IcmpType.DEST_UNREACHABLE)
+            return
+        original_forward(packet)
+
+    kernel._forward = forward_with_errors

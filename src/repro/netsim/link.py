@@ -1,0 +1,139 @@
+"""Point-to-point duplex links.
+
+A link joins two NICs.  Each direction is an independent channel with
+its own bandwidth, propagation delay, loss rate, and drop-tail queue, so
+asymmetric links and one-way partitions can be modelled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .packet import IPPacket
+from .simulator import Simulator
+from .trace import trace
+
+if TYPE_CHECKING:
+    from .nic import NIC
+
+
+class Channel:
+    """One direction of a link: a serializing transmitter, a drop-tail
+    queue, a propagation delay, and an optional Bernoulli loss process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float,
+        latency: float,
+        loss_rate: float = 0.0,
+        queue_capacity: int = 64,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self.queue_capacity = queue_capacity
+        self.destination: Optional["NIC"] = None
+        self.up = True
+        self._busy_until = 0.0
+        self._queued = 0
+        # Counters useful for congestion experiments.
+        self.packets_sent = 0
+        self.packets_dropped_queue = 0
+        self.packets_lost = 0
+        self.bytes_sent = 0
+
+    def transmission_time(self, packet: IPPacket) -> float:
+        return packet.wire_size * 8 / self.bandwidth_bps
+
+    def transmit(self, packet: IPPacket) -> None:
+        """Accept a packet for transmission (or drop it)."""
+        if not self.up or self.destination is None:
+            trace(self.sim, self.name, "link-down-drop", packet)
+            return
+        if self._queued >= self.queue_capacity:
+            self.packets_dropped_queue += 1
+            trace(self.sim, self.name, "queue-drop", packet)
+            return
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        done = start + self.transmission_time(packet)
+        self._busy_until = done
+        self._queued += 1
+        self.sim.schedule_at(done, self._transmission_complete, packet)
+
+    def _transmission_complete(self, packet: IPPacket) -> None:
+        self._queued -= 1
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_size
+        if not self.up or self.destination is None:
+            trace(self.sim, self.name, "link-down-drop", packet)
+            return
+        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            self.packets_lost += 1
+            trace(self.sim, self.name, "loss", packet)
+            return
+        self.sim.schedule(self.latency, self._arrive, packet)
+
+    def _arrive(self, packet: IPPacket) -> None:
+        if not self.up or self.destination is None:
+            trace(self.sim, self.name, "link-down-drop", packet)
+            return
+        self.destination.deliver(packet)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued
+
+
+class Link:
+    """A duplex point-to-point link between two NICs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 10_000_000.0,
+        latency: float = 0.001,
+        loss_rate: float = 0.0,
+        queue_capacity: int = 64,
+        name: str = "link",
+    ):
+        self.sim = sim
+        self.name = name
+        self.a_to_b = Channel(
+            sim, f"{name}:a->b", bandwidth_bps, latency, loss_rate, queue_capacity
+        )
+        self.b_to_a = Channel(
+            sim, f"{name}:b->a", bandwidth_bps, latency, loss_rate, queue_capacity
+        )
+        self._nic_a: Optional["NIC"] = None
+        self._nic_b: Optional["NIC"] = None
+
+    def attach(self, nic_a: "NIC", nic_b: "NIC") -> None:
+        self._nic_a, self._nic_b = nic_a, nic_b
+        self.a_to_b.destination = nic_b
+        self.b_to_a.destination = nic_a
+        nic_a.connect(self.a_to_b)
+        nic_b.connect(self.b_to_a)
+        self.a_to_b.name = f"{self.name}:{nic_a.host.name}->{nic_b.host.name}"
+        self.b_to_a.name = f"{self.name}:{nic_b.host.name}->{nic_a.host.name}"
+
+    @property
+    def up(self) -> bool:
+        return self.a_to_b.up and self.b_to_a.up
+
+    def set_up(self, up: bool) -> None:
+        """Bring both directions up or down (fault injection)."""
+        self.a_to_b.up = up
+        self.b_to_a.up = up
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        self.a_to_b.loss_rate = loss_rate
+        self.b_to_a.loss_rate = loss_rate

@@ -1,0 +1,18 @@
+"""Routers: hosts with IP forwarding enabled.
+
+HydraNet redirectors subclass the behaviour via kernel packet hooks (see
+:mod:`repro.hydranet.redirector`); plain routers just forward.
+"""
+
+from __future__ import annotations
+
+from .host import Host, HostProfile, MODERN
+from .simulator import Simulator
+
+
+class Router(Host):
+    """An IP router."""
+
+    def __init__(self, sim: Simulator, name: str, profile: HostProfile = MODERN):
+        super().__init__(sim, name, profile)
+        self.kernel.ip_forwarding = True

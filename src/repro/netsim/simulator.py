@@ -1,0 +1,186 @@
+"""Discrete-event simulation engine.
+
+Everything in the reproduction runs on virtual time provided by
+:class:`Simulator`.  Events are callbacks scheduled at absolute virtual
+times; ties are broken by insertion order, which makes runs fully
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellable handle returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute virtual time the event fires at."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random generator.  All stochastic
+        behaviour in the network (loss, jitter) must draw from
+        :attr:`rng` so that runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[_ScheduledEvent] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._events_processed = 0
+        self.rng = random.Random(seed)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        event = _ScheduledEvent(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        Returns the virtual time when the run stopped.  When ``until``
+        is given the clock is advanced to ``until`` even if the queue
+        drained earlier (matching how wall-clock time would pass).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_processed += 1
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            stop_early = max_events is not None and processed >= max_events
+            if not stop_early:
+                self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain.  Guards against runaway loops."""
+        self.run(max_events=max_events)
+        if self.pending_events:
+            raise SimulationError(
+                f"simulation did not go idle within {max_events} events"
+            )
+        return self._now
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Wraps the schedule/cancel dance that protocol code (retransmission
+    timers, delayed ACKs, failure detectors) does constantly.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        return self._handle.time if self.running else None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now."""
+        self.stop()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

@@ -1,0 +1,5 @@
+"""BSD-style sockets facade over the simulated stacks."""
+
+from .api import Node, node_for
+
+__all__ = ["Node", "node_for"]

@@ -1,0 +1,39 @@
+"""A full TCP implementation over the simulated network.
+
+Handshake, sliding windows, cumulative/duplicate ACKs, RTO with Karn's
+rule, Reno congestion control, delayed ACKs, Nagle, persist probes, and
+graceful close — plus the hook points HydraNet-FT's ft-TCP needs
+(deposit/transmit gates and an output filter).
+"""
+
+from .buffers import Reassembler, SendBuffer, SocketBuffer
+from .congestion import CongestionControl
+from .options import TcpOptions
+from .sack import SackScoreboard
+from .seqnum import seq_add, seq_between, seq_diff, seq_ge, seq_gt, seq_le, seq_lt
+from .stack import Listener, TcpStack, deterministic_iss
+from .tcb import TcpConnection, TcpError, TcpState
+from .timers import RtoEstimator
+
+__all__ = [
+    "Reassembler",
+    "SendBuffer",
+    "SocketBuffer",
+    "CongestionControl",
+    "TcpOptions",
+    "SackScoreboard",
+    "seq_add",
+    "seq_between",
+    "seq_diff",
+    "seq_ge",
+    "seq_gt",
+    "seq_le",
+    "seq_lt",
+    "Listener",
+    "TcpStack",
+    "deterministic_iss",
+    "TcpConnection",
+    "TcpError",
+    "TcpState",
+    "RtoEstimator",
+]

@@ -1,0 +1,262 @@
+"""Send and receive buffers for the TCP stack.
+
+All offsets here are *stream offsets*: unbounded integers counting
+payload bytes from the start of the connection (offset 0 is the first
+payload byte after the SYN).  The TCB converts to 32-bit wire sequence
+numbers at the edge.
+
+The receive path is split in two stages on purpose:
+
+    segments --> Reassembler (contiguous "staged" bytes)
+             --> deposit --> SocketBuffer (readable by the application)
+
+Plain TCP deposits staged bytes immediately; HydraNet-FT's ft-TCP gates
+the deposit on the acknowledgement channel (paper §4.3), which is why
+the stage boundary exists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+class BufferError(RuntimeError):
+    pass
+
+
+class SendBuffer:
+    """Outbound byte stream with retransmission storage.
+
+    Data below ``base`` (the cumulative-ACK point) is discarded; data
+    between ``base`` and ``end`` is retained for retransmission.  When
+    ``preserve_boundaries`` is set, reads never span an application
+    write boundary — each write becomes its own segment (the paper's
+    measurement mode).
+    """
+
+    def __init__(self, capacity: int, preserve_boundaries: bool = False):
+        self.capacity = capacity
+        self.preserve_boundaries = preserve_boundaries
+        self._chunks: deque[tuple[int, bytes]] = deque()
+        self._base = 0  # lowest retained offset
+        self._end = 0  # next append offset
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def end(self) -> int:
+        return self._end
+
+    @property
+    def buffered(self) -> int:
+        return self._end - self._base
+
+    @property
+    def free_space(self) -> int:
+        return max(0, self.capacity - self.buffered)
+
+    def append(self, data: bytes) -> int:
+        """Append as much of ``data`` as fits; returns bytes accepted."""
+        accept = min(len(data), self.free_space)
+        if accept == 0:
+            return 0
+        chunk = bytes(data[:accept])
+        self._chunks.append((self._end, chunk))
+        self._end += accept
+        return accept
+
+    def read(self, offset: int, max_len: int) -> bytes:
+        """Bytes starting at ``offset``, up to ``max_len`` (less when
+        boundary preservation stops at a write boundary)."""
+        if offset < self._base:
+            raise BufferError(f"offset {offset} below base {self._base}")
+        if offset >= self._end or max_len <= 0:
+            return b""
+        pieces: list[bytes] = []
+        remaining = max_len
+        for start, chunk in self._chunks:
+            chunk_end = start + len(chunk)
+            if chunk_end <= offset:
+                continue
+            begin = max(0, offset - start)
+            piece = chunk[begin : begin + remaining]
+            if self.preserve_boundaries:
+                return piece
+            pieces.append(piece)
+            remaining -= len(piece)
+            offset += len(piece)
+            if remaining == 0:
+                break
+        return b"".join(pieces)
+
+    def ack_to(self, offset: int) -> None:
+        """Discard data below ``offset`` (cumulative ACK)."""
+        if offset > self._end:
+            raise BufferError(f"ack beyond data: {offset} > {self._end}")
+        if offset <= self._base:
+            return
+        self._base = offset
+        while self._chunks:
+            start, chunk = self._chunks[0]
+            if start + len(chunk) <= offset:
+                self._chunks.popleft()
+            else:
+                break
+
+
+class Reassembler:
+    """Receive-side segment reassembly.
+
+    Produces the *staged* contiguous byte stream; out-of-order segments
+    wait in an interval map.  Overlaps and duplicates (retransmissions)
+    are tolerated and clipped.
+    """
+
+    def __init__(self):
+        self._staged: deque[bytes] = deque()
+        self._staged_size = 0
+        self._in_order_end = 0  # next expected stream offset
+        self._take_point = 0  # offset of first staged byte
+        # Disjoint, sorted out-of-order fragments: offset -> bytes.
+        self._fragments: dict[int, bytes] = {}
+        self.duplicate_bytes = 0
+
+    @property
+    def in_order_end(self) -> int:
+        return self._in_order_end
+
+    @property
+    def staged_bytes(self) -> int:
+        return self._staged_size
+
+    @property
+    def take_point(self) -> int:
+        return self._take_point
+
+    @property
+    def out_of_order_bytes(self) -> int:
+        return sum(len(f) for f in self._fragments.values())
+
+    def out_of_order_ranges(self) -> list[tuple[int, int]]:
+        """Disjoint [start, end) stream ranges held beyond the in-order
+        point — the material of SACK blocks."""
+        ranges: list[tuple[int, int]] = []
+        for offset in sorted(self._fragments):
+            end = offset + len(self._fragments[offset])
+            if ranges and ranges[-1][1] == offset:
+                ranges[-1] = (ranges[-1][0], end)
+            else:
+                ranges.append((offset, end))
+        return ranges
+
+    def add(self, offset: int, data: bytes) -> int:
+        """Insert a segment's payload at ``offset``.  Returns the number
+        of new in-order bytes made available."""
+        if not data:
+            return 0
+        end = offset + len(data)
+        if end <= self._in_order_end:
+            self.duplicate_bytes += len(data)
+            return 0
+        if offset < self._in_order_end:
+            self.duplicate_bytes += self._in_order_end - offset
+            data = data[self._in_order_end - offset :]
+            offset = self._in_order_end
+        self._insert_fragment(offset, data)
+        return self._drain_in_order()
+
+    def _insert_fragment(self, offset: int, data: bytes) -> None:
+        """Merge ``data`` into the disjoint fragment map, clipping
+        overlap with existing fragments (existing bytes win — they are
+        identical in honest TCP anyway)."""
+        end = offset + len(data)
+        for frag_off in sorted(self._fragments):
+            if offset >= end:
+                return
+            frag = self._fragments[frag_off]
+            frag_end = frag_off + len(frag)
+            if frag_end <= offset or frag_off >= end:
+                continue
+            # Overlap: keep the non-overlapping head, recurse past it.
+            if offset < frag_off:
+                self._fragments[offset] = data[: frag_off - offset]
+            overlap = min(end, frag_end) - max(offset, frag_off)
+            self.duplicate_bytes += max(0, overlap)
+            new_offset = frag_end
+            data = data[max(0, new_offset - offset) :]
+            offset = new_offset
+        if offset < end and data:
+            self._fragments[offset] = data
+
+    def _drain_in_order(self) -> int:
+        gained = 0
+        while self._in_order_end in self._fragments:
+            frag = self._fragments.pop(self._in_order_end)
+            self._staged.append(frag)
+            self._staged_size += len(frag)
+            self._in_order_end += len(frag)
+            gained += len(frag)
+        return gained
+
+    def take(self, max_bytes: Optional[int] = None) -> bytes:
+        """Remove and return up to ``max_bytes`` staged bytes (all of
+        them when None)."""
+        if max_bytes is None:
+            max_bytes = self._staged_size
+        pieces: list[bytes] = []
+        remaining = max_bytes
+        while remaining > 0 and self._staged:
+            chunk = self._staged.popleft()
+            if len(chunk) <= remaining:
+                pieces.append(chunk)
+                remaining -= len(chunk)
+            else:
+                pieces.append(chunk[:remaining])
+                self._staged.appendleft(chunk[remaining:])
+                remaining = 0
+        taken = b"".join(pieces)
+        self._staged_size -= len(taken)
+        self._take_point += len(taken)
+        return taken
+
+
+class SocketBuffer:
+    """Deposited, application-readable bytes (the BSD so_rcv analogue)."""
+
+    def __init__(self):
+        self._chunks: deque[bytes] = deque()
+        self._size = 0
+        self.total_deposited = 0
+        self.total_read = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def deposit(self, data: bytes) -> None:
+        if data:
+            self._chunks.append(data)
+            self._size += len(data)
+            self.total_deposited += len(data)
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        if max_bytes is None:
+            max_bytes = self._size
+        pieces: list[bytes] = []
+        remaining = max_bytes
+        while remaining > 0 and self._chunks:
+            chunk = self._chunks.popleft()
+            if len(chunk) <= remaining:
+                pieces.append(chunk)
+                remaining -= len(chunk)
+            else:
+                pieces.append(chunk[:remaining])
+                self._chunks.appendleft(chunk[remaining:])
+                remaining = 0
+        data = b"".join(pieces)
+        self._size -= len(data)
+        self.total_read += len(data)
+        return data

@@ -1,0 +1,904 @@
+"""The TCP connection state machine (transmission control block).
+
+This is a reasonably complete event-driven TCP: three-way handshake,
+sliding-window data transfer with cumulative and duplicate ACKs, RTO
+retransmission with Karn's rule and exponential backoff, fast
+retransmit / fast recovery (Reno), delayed ACKs, Nagle, zero-window
+persist probes, and the full close/TIME_WAIT dance.
+
+HydraNet-FT hooks (paper §4):
+
+* ``deposit_limit`` — callable returning the highest stream offset
+  (exclusive) that may be *deposited* into the socket buffer; the
+  ft-TCP backup chain drives this from acknowledgement-channel
+  messages.  ACKs we emit only ever cover deposited data.
+* ``transmit_limit`` — callable returning the highest stream offset
+  (exclusive) that may be *transmitted*; gates outgoing data (and FIN)
+  the same way.
+* ``output_filter`` — inspects every outgoing segment; returning True
+  suppresses the actual send (backups report flow-control fields up the
+  acknowledgement channel instead of talking to the client).
+* ``on_deposit`` / ``on_retransmission_observed`` — notifications used
+  by the ft layer and the failure detector.
+
+Internally all positions are unbounded *stream offsets* (payload byte
+counts from the start of the connection); conversion to wrapped 32-bit
+wire sequence numbers happens only when building/parsing segments.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.packet import TCPFlags, TCPSegment
+from repro.netsim.simulator import Timer
+
+from .buffers import Reassembler, SendBuffer, SocketBuffer
+from .congestion import CongestionControl
+from .options import TcpOptions
+from .sack import SackScoreboard
+from .seqnum import seq_add, seq_diff
+from .timers import RtoEstimator
+
+if TYPE_CHECKING:
+    from .stack import TcpStack
+
+MAX_WINDOW = 65535
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+class TcpError(RuntimeError):
+    pass
+
+
+class TcpConnection:
+    """One end of a TCP connection."""
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local_ip,
+        local_port: int,
+        remote_ip,
+        remote_port: int,
+        options: TcpOptions,
+        mss: int,
+        iss: int,
+    ):
+        self.stack = stack
+        self.sim = stack.sim
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.options = options
+        self.mss = mss
+        self.state = TcpState.CLOSED
+
+        # --- send side ---
+        self.iss = iss
+        self.snd_una = 0  # lowest unacknowledged stream offset
+        self.snd_nxt = 0  # next stream offset to send
+        self.snd_max = 0  # highest stream offset ever sent
+        self.peer_window = 0
+        self.send_buffer = SendBuffer(
+            options.send_buffer_size,
+            preserve_boundaries=options.segment_per_write,
+        )
+        self.fin_queued = False
+        self.fin_sent = False
+        self.fin_acked = False
+        self.syn_acked = False
+        #: RFC 2018, negotiated on the SYN (both ends must enable).
+        self.sack_enabled = False
+        self.scoreboard = SackScoreboard()
+
+        # --- receive side ---
+        self.irs: Optional[int] = None
+        self.reassembler = Reassembler()
+        self.socket_buffer = SocketBuffer()
+        self.peer_fin_offset: Optional[int] = None
+        self.fin_deposited = False
+        # Highest window right-edge ever advertised (stream offset).
+        # RFC 793/1122: the edge must never move left, even when the
+        # deposit gate holds staged bytes that count against the buffer.
+        self._rcv_adv = 0
+
+        # --- machinery ---
+        self.rto = RtoEstimator(options)
+        self.congestion = CongestionControl(options, mss)
+        self.rtx_timer = Timer(self.sim, self._on_rto)
+        self.ack_timer = Timer(self.sim, self._on_delayed_ack)
+        self.persist_timer = Timer(self.sim, self._on_persist)
+        self.time_wait_timer = Timer(self.sim, self._on_time_wait_done)
+        self._retries = 0
+        self._persist_backoff = 0
+        self._dupacks = 0
+        # Outstanding RTT measurement: (stream offset sample covers, sent time).
+        self._rtt_sample: Optional[tuple[int, float]] = None
+        self._syn_time: Optional[float] = None
+        self._syn_retransmitted = False
+        self._segs_since_ack = 0
+
+        # --- statistics ---
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.retransmitted_segments = 0
+        self.suppressed_segments = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+        # --- application callbacks ---
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_remote_close: Optional[Callable[[], None]] = None
+        self.on_closed: Optional[Callable[[str], None]] = None
+        #: Called when the send path may accept more data (ACK freed space).
+        self.on_send_space: Optional[Callable[[], None]] = None
+
+        # --- HydraNet-FT hooks ---
+        self.deposit_limit: Optional[Callable[[], Optional[int]]] = None
+        self.transmit_limit: Optional[Callable[[], Optional[int]]] = None
+        self.output_filter: Optional[Callable[[TCPSegment], bool]] = None
+        self.on_deposit: Optional[Callable[[int], None]] = None
+        self.on_retransmission_observed: Optional[Callable[[TCPSegment], None]] = None
+        #: Fired when this end retransmits (its data is not being
+        #: acknowledged) — the other half of the paper's failure signal:
+        #: with a dead primary, a pushing server sees no ACK progress.
+        self.on_retransmit: Optional[Callable[[], None]] = None
+
+        self._closed_reported = False
+
+    # ------------------------------------------------------------------
+    # wire <-> stream conversion
+    # ------------------------------------------------------------------
+
+    def _seq_for(self, offset: int) -> int:
+        """Wire sequence number of stream offset ``offset`` (send side)."""
+        return seq_add(self.iss, 1 + offset)
+
+    def _offset_for_ack(self, ack: int) -> int:
+        """Stream offset acknowledged by wire ack number (send side).
+        Counts our FIN as one position past the last payload byte."""
+        return seq_diff(ack, seq_add(self.iss, 1))
+
+    def _offset_for_seq(self, seq: int) -> int:
+        """Receive-side stream offset of wire sequence number."""
+        assert self.irs is not None
+        return seq_diff(seq, seq_add(self.irs, 1))
+
+    @property
+    def ack_point(self) -> int:
+        """Deposited stream offset — the basis of the ACKs we send."""
+        return self.reassembler.take_point
+
+    def _wire_ack(self) -> int:
+        """The ACK number to put on outgoing segments: everything
+        deposited, plus one for the peer's FIN once it is consumed."""
+        if self.irs is None:
+            return 0
+        extra = 1 if self.fin_deposited else 0
+        return seq_add(self.irs, 1 + self.ack_point + extra)
+
+    def advertised_window(self) -> int:
+        """Receive window: buffer capacity minus held bytes (staged
+        bytes awaiting the deposit gate count too — the paper's
+        "conservative" kernel), but the right edge never retreats."""
+        held = self.reassembler.staged_bytes + self.socket_buffer.size
+        win = max(0, min(MAX_WINDOW, self.options.recv_buffer_size - held))
+        if self.options.rfc_window_edge:
+            floor = self._rcv_adv - self.ack_point
+            win = max(win, min(MAX_WINDOW, floor))
+        self._rcv_adv = max(self._rcv_adv, self.ack_point + win)
+        return win
+
+    def _window_right_edge(self) -> int:
+        """Stream offset past which arriving data is dropped."""
+        if self.options.rfc_window_edge:
+            return self._rcv_adv
+        held = self.reassembler.staged_bytes + self.socket_buffer.size
+        win = max(0, min(MAX_WINDOW, self.options.recv_buffer_size - held))
+        return self.ack_point + win
+
+    # ------------------------------------------------------------------
+    # application interface
+    # ------------------------------------------------------------------
+
+    def open_active(self) -> None:
+        """Send the initial SYN (client side)."""
+        if self.state != TcpState.CLOSED:
+            raise TcpError(f"cannot connect in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        self._send_syn()
+
+    def open_passive(self, syn: TCPSegment) -> None:
+        """Process the client's SYN (server side) and reply SYN-ACK."""
+        if self.state != TcpState.CLOSED:
+            raise TcpError(f"cannot accept in state {self.state}")
+        self.irs = syn.seq
+        self.peer_window = syn.window
+        self.sack_enabled = self.options.sack and syn.sack_permitted
+        self.state = TcpState.SYN_RCVD
+        self._send_syn()
+
+    def send(self, data: bytes) -> int:
+        """Queue application data; returns bytes accepted (buffer may be
+        full — register ``on_send_space`` to learn when to retry)."""
+        if self.state not in (
+            TcpState.ESTABLISHED,
+            TcpState.CLOSE_WAIT,
+            TcpState.SYN_SENT,
+            TcpState.SYN_RCVD,
+        ):
+            raise TcpError(f"cannot send in state {self.state}")
+        if self.fin_queued:
+            raise TcpError("cannot send after close()")
+        accepted = self.send_buffer.append(data)
+        self._try_send()
+        return accepted
+
+    def recv(self, max_bytes: Optional[int] = None) -> bytes:
+        data = self.socket_buffer.read(max_bytes)
+        if data:
+            self._window_opened()
+        return data
+
+    def close(self) -> None:
+        """Graceful close: FIN after all queued data."""
+        if self.fin_queued or self.state in (TcpState.CLOSED, TcpState.TIME_WAIT):
+            return
+        self.fin_queued = True
+        self._try_send()
+
+    def abort(self) -> None:
+        """Hard close: RST to the peer, everything discarded."""
+        if self.state not in (TcpState.CLOSED,) and self.irs is not None:
+            self._emit(self._make_segment(TCPFlags.RST | TCPFlags.ACK))
+        self._teardown("reset")
+
+    @property
+    def readable_bytes(self) -> int:
+        return self.socket_buffer.size
+
+    @property
+    def flight_size(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    # ------------------------------------------------------------------
+    # ft-TCP gate notifications
+    # ------------------------------------------------------------------
+
+    def gates_changed(self) -> None:
+        """Re-evaluate deposit and transmit gates (called by the ft
+        layer when acknowledgement-channel state advances)."""
+        progressed = self._try_deposit()
+        if progressed and self.irs is not None and self.state not in (
+            TcpState.CLOSED,
+            TcpState.TIME_WAIT,
+        ):
+            # Deposit advanced on acknowledgement-channel progress: this
+            # is the moment the paper's primary "replies to the client"
+            # (and a backup forwards its progress up the chain).
+            self._send_ack_now()
+        self._try_send()
+
+    def kick(self) -> None:
+        """Nudge the connection after a fail-over promotion: re-ACK the
+        client immediately, re-evaluate gates, and make sure pending
+        data is on a retransmission timer so it reaches the wire."""
+        if self.state in (TcpState.CLOSED, TcpState.SYN_SENT):
+            return
+        self.gates_changed()
+        if self.irs is not None and self.state != TcpState.TIME_WAIT:
+            self._send_ack_now()
+        needs_rtx = self.snd_una < self.snd_nxt or (self.fin_sent and not self.fin_acked)
+        if needs_rtx:
+            self._retransmit_head()
+            if not self.rtx_timer.running:
+                self.rtx_timer.start(self.rto.rto)
+
+    def kill_silently(self) -> None:
+        """Tear down without emitting anything (a replica removed from
+        the set must go silent, not RST the shared client connection)."""
+        self._teardown("killed")
+
+    # ------------------------------------------------------------------
+    # segment construction / emission
+    # ------------------------------------------------------------------
+
+    def _sack_blocks(self) -> tuple:
+        if not self.sack_enabled or self.irs is None:
+            return ()
+        base = seq_add(self.irs, 1)
+        ranges = self.reassembler.out_of_order_ranges()[-3:]
+        return tuple(
+            (seq_add(base, lo), seq_add(base, hi)) for lo, hi in ranges
+        )
+
+    def _make_segment(
+        self, flags: TCPFlags, seq: Optional[int] = None, data: bytes = b""
+    ) -> TCPSegment:
+        return TCPSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq if seq is not None else self._seq_for(self.snd_nxt),
+            ack=self._wire_ack() if flags & TCPFlags.ACK else 0,
+            flags=flags,
+            window=self.advertised_window(),
+            data=data,
+            sack_blocks=self._sack_blocks() if flags & TCPFlags.ACK else (),
+        )
+
+    def _emit(self, segment: TCPSegment) -> None:
+        self.segments_sent += 1
+        if segment.has_ack:
+            self.ack_timer.stop()
+            self._segs_since_ack = 0
+        if self.output_filter is not None and self.output_filter(segment):
+            self.suppressed_segments += 1
+            return
+        self.stack.send_segment(self, segment)
+
+    def _send_syn(self) -> None:
+        flags = TCPFlags.SYN
+        if self.state == TcpState.SYN_RCVD:
+            flags |= TCPFlags.ACK
+        seq = self.iss
+        segment = TCPSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=seq_add(self.irs, 1) if flags & TCPFlags.ACK else 0,
+            flags=flags,
+            window=self.advertised_window(),
+            sack_permitted=self.options.sack,
+        )
+        if self._syn_time is None:
+            self._syn_time = self.sim.now
+        self.segments_sent += 1
+        if not (self.output_filter is not None and self.output_filter(segment)):
+            self.stack.send_segment(self, segment)
+        else:
+            self.suppressed_segments += 1
+        self.rtx_timer.start(self.rto.rto)
+
+    def _send_ack_now(self) -> None:
+        if self.irs is None:
+            return
+        self._emit(self._make_segment(TCPFlags.ACK))
+
+    def _schedule_ack(self, immediate: bool, countable: bool = True) -> None:
+        if immediate or (not self.options.delayed_ack and countable):
+            self._send_ack_now()
+            return
+        if countable:
+            self._segs_since_ack += 1
+            if self._segs_since_ack >= 2:
+                self._send_ack_now()
+                return
+        if not self.ack_timer.running:
+            self.ack_timer.start(self.options.delayed_ack_timeout)
+
+    def _on_delayed_ack(self) -> None:
+        if self._host_dead():
+            return
+        self._send_ack_now()
+
+    def _window_opened(self) -> None:
+        """App consumed data: advertise the bigger window if it matters."""
+        if self.state in (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2):
+            if not self.ack_timer.running:
+                self.ack_timer.start(self.options.delayed_ack_timeout)
+
+    # ------------------------------------------------------------------
+    # output path
+    # ------------------------------------------------------------------
+
+    def _transmit_ceiling(self) -> Optional[int]:
+        if self.transmit_limit is None:
+            return None
+        return self.transmit_limit()
+
+    def _try_send(self) -> None:
+        if self.state in (
+            TcpState.CLOSED,
+            TcpState.SYN_SENT,
+            TcpState.SYN_RCVD,
+            TcpState.TIME_WAIT,
+        ):
+            return
+        while True:
+            window = self.congestion.window(max(self.peer_window, 0))
+            usable = self.snd_una + window - self.snd_nxt
+            available = self.send_buffer.end - self.snd_nxt
+            ceiling = self._transmit_ceiling()
+            if ceiling is not None:
+                available = min(available, ceiling - self.snd_nxt)
+            if available <= 0:
+                break
+            if usable <= 0:
+                if self.peer_window == 0 and not self.rtx_timer.running:
+                    self._start_persist()
+                break
+            n = min(usable, available, self.mss)
+            if self.options.segment_per_write:
+                # Measurement mode: a write is sent as one segment or
+                # not at all — never sliced by the window edge.
+                whole = self.send_buffer.read(self.snd_nxt, min(available, self.mss))
+                if len(whole) > usable:
+                    break
+                data = whole
+            else:
+                data = self.send_buffer.read(self.snd_nxt, n)
+            if not data:
+                break
+            if (
+                self.options.nagle
+                and len(data) < self.mss
+                and self.flight_size > 0
+                and not self.fin_queued
+            ):
+                break
+            self._send_data_segment(self.snd_nxt, data)
+        self._maybe_send_fin()
+
+    def _send_data_segment(self, offset: int, data: bytes, retransmit: bool = False) -> None:
+        flags = TCPFlags.ACK | TCPFlags.PSH
+        segment = self._make_segment(flags, seq=self._seq_for(offset), data=data)
+        end = offset + len(data)
+        # After a go-back-N pointer reset, ordinary output below the
+        # high-water mark is still a retransmission for Karn/statistics
+        # purposes even though it advances snd_nxt.
+        is_retransmission = retransmit or offset < self.snd_max
+        if is_retransmission:
+            self.retransmitted_segments += 1
+            # Karn: a measurement covering retransmitted data is invalid.
+            if self._rtt_sample is not None and self._rtt_sample[0] > offset:
+                self._rtt_sample = None
+        else:
+            self.bytes_sent += len(data)
+            if self._rtt_sample is None:
+                self._rtt_sample = (end, self.sim.now)
+        self._emit(segment)
+        if not retransmit:
+            self.snd_nxt = max(self.snd_nxt, end)
+        self.snd_max = max(self.snd_max, self.snd_nxt)
+        if not self.rtx_timer.running:
+            self.rtx_timer.start(self.rto.rto)
+
+    def _fin_offset(self) -> int:
+        return self.send_buffer.end
+
+    def _fin_allowed(self) -> bool:
+        ceiling = self._transmit_ceiling()
+        if ceiling is None:
+            return True
+        return ceiling > self._fin_offset()
+
+    def _maybe_send_fin(self) -> None:
+        if (
+            not self.fin_queued
+            or self.fin_sent
+            or self.snd_nxt < self.send_buffer.end
+            or not self._fin_allowed()
+        ):
+            return
+        self.fin_sent = True
+        segment = self._make_segment(
+            TCPFlags.FIN | TCPFlags.ACK, seq=self._seq_for(self.snd_nxt)
+        )
+        self._emit(segment)
+        if self.state == TcpState.ESTABLISHED:
+            self.state = TcpState.FIN_WAIT_1
+        elif self.state == TcpState.CLOSE_WAIT:
+            self.state = TcpState.LAST_ACK
+        if not self.rtx_timer.running:
+            self.rtx_timer.start(self.rto.rto)
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+
+    def _host_dead(self) -> bool:
+        """Fail-stop: a crashed host's protocol timers are dead (the
+        machine halted); they must not fire, reschedule, or queue work
+        that could leak after a reboot."""
+        return self.stack.host.crashed
+
+    def _on_rto(self) -> None:
+        if self.state == TcpState.CLOSED or self._host_dead():
+            return
+        self._retries += 1
+        limit = (
+            self.options.max_syn_retries
+            if self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD)
+            else self.options.max_retries
+        )
+        if self._retries > limit:
+            self._teardown("timeout")
+            return
+        self.rto.on_timeout()
+        if self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            self._syn_retransmitted = True
+            if self.on_retransmit is not None:
+                self.on_retransmit()
+            self._send_syn()
+            return
+        self.congestion.on_timeout(self.flight_size)
+        self._dupacks = 0
+        self.scoreboard.clear()  # RFC 2018: SACK info is advisory
+        # Go-back-N (as in BSD tcp_output after a timeout): pull the
+        # send pointer back so recovery proceeds ack-clocked from
+        # snd_una instead of being wedged behind a large flight.
+        self.snd_nxt = self.snd_una
+        self._retransmit_head()
+        self.rtx_timer.start(self.rto.rto)
+
+    def _retransmit_head(self) -> None:
+        if self.on_retransmit is not None:
+            self.on_retransmit()
+        if self.snd_una < self.send_buffer.end:
+            start = self.snd_una
+            limit = self.send_buffer.end
+            if self.sack_enabled:
+                hole = self.scoreboard.first_hole(self.snd_una, min(self.snd_max, limit))
+                if hole is None:
+                    start = None  # everything outstanding is sacked
+                else:
+                    start, hole_end = hole
+                    limit = hole_end
+            if start is not None:
+                n = min(self.mss, limit - start)
+                data = self.send_buffer.read(start, n)
+                if data:
+                    self._send_data_segment(start, data, retransmit=True)
+                    return
+        if self.fin_sent and not self.fin_acked:
+            self.retransmitted_segments += 1
+            self._emit(
+                self._make_segment(
+                    TCPFlags.FIN | TCPFlags.ACK, seq=self._seq_for(self._fin_offset())
+                )
+            )
+
+    def _start_persist(self) -> None:
+        if self.persist_timer.running:
+            return
+        delay = min(
+            max(self.rto.rto * (2**self._persist_backoff), self.options.persist_min),
+            self.options.persist_max,
+        )
+        self.persist_timer.start(delay)
+
+    def _on_persist(self) -> None:
+        if self._host_dead():
+            return
+        if self.state == TcpState.CLOSED or self.peer_window > 0:
+            self._persist_backoff = 0
+            return
+        # Window probe: one byte of data past the window edge.
+        if self.snd_nxt < self.send_buffer.end:
+            data = self.send_buffer.read(self.snd_nxt, 1)
+            if data:
+                self._send_data_segment(self.snd_nxt, data[:1], retransmit=True)
+        else:
+            self._send_ack_now()
+        self._persist_backoff += 1
+        self._start_persist()
+
+    def _on_time_wait_done(self) -> None:
+        self._teardown("closed")
+
+    # ------------------------------------------------------------------
+    # input path
+    # ------------------------------------------------------------------
+
+    def segment_arrived(self, segment: TCPSegment) -> None:
+        self.segments_received += 1
+        if self.state == TcpState.CLOSED:
+            return
+        if segment.rst:
+            self._handle_rst(segment)
+            return
+        if self.state == TcpState.SYN_SENT:
+            self._handle_syn_sent(segment)
+            return
+        if self.state == TcpState.SYN_RCVD:
+            self._handle_syn_rcvd(segment)
+            if self.state not in (TcpState.ESTABLISHED,):
+                return
+            # Fall through: the ACK completing the handshake may carry data.
+        if segment.syn:
+            # Retransmitted SYN on an established connection: our
+            # SYN-ACK or ACK was lost; re-acknowledge.
+            self._send_ack_now()
+            return
+        if segment.has_ack:
+            self._process_ack(segment)
+        if self.state == TcpState.CLOSED:
+            return
+        self.peer_window = segment.window
+        if self.persist_timer.running and segment.window > 0:
+            self.persist_timer.stop()
+            self._persist_backoff = 0
+            self._try_send()
+        self._process_payload(segment)
+        self._try_send()
+
+    # -- handshake states -------------------------------------------------
+
+    def _handle_syn_sent(self, segment: TCPSegment) -> None:
+        if not segment.syn:
+            return
+        self.irs = segment.seq
+        self.peer_window = segment.window
+        self.sack_enabled = self.options.sack and segment.sack_permitted
+        if segment.has_ack and seq_diff(segment.ack, seq_add(self.iss, 1)) == 0:
+            # SYN-ACK: handshake complete on our side.
+            self.syn_acked = True
+            self._retries = 0
+            if self._syn_time is not None and not self._syn_retransmitted:
+                self.rto.on_measurement(self.sim.now - self._syn_time)
+            self.rtx_timer.stop()
+            self.state = TcpState.ESTABLISHED
+            self._send_ack_now()
+            if self.on_established:
+                self.on_established()
+            self._try_send()
+        # (Simultaneous open is not modelled.)
+
+    def _handle_syn_rcvd(self, segment: TCPSegment) -> None:
+        if segment.syn and not segment.has_ack:
+            # Duplicate SYN: client did not see our SYN-ACK yet — a
+            # client retransmission in the failure-estimator sense.
+            if self.on_retransmission_observed is not None:
+                self.on_retransmission_observed(segment)
+            self._send_syn()
+            return
+        if segment.has_ack and seq_diff(segment.ack, seq_add(self.iss, 1)) >= 0:
+            self.syn_acked = True
+            self._retries = 0
+            if self._syn_time is not None and not self._syn_retransmitted:
+                self.rto.on_measurement(self.sim.now - self._syn_time)
+            self.rtx_timer.stop()
+            self.state = TcpState.ESTABLISHED
+            self.peer_window = segment.window
+            if self.on_established:
+                self.on_established()
+            self.stack.connection_established(self)
+
+    # -- RST ---------------------------------------------------------------
+
+    def _handle_rst(self, segment: TCPSegment) -> None:
+        if self.state == TcpState.TIME_WAIT:
+            # RFC 1337: ignore RSTs in TIME_WAIT (prevents TIME-WAIT
+            # assassination by stray segments).
+            return
+        reason = "refused" if self.state == TcpState.SYN_SENT else "reset"
+        self._teardown(reason)
+
+    # -- ACK processing ------------------------------------------------------
+
+    def _process_ack(self, segment: TCPSegment) -> None:
+        if self.sack_enabled and segment.sack_blocks:
+            base = seq_add(self.iss, 1)
+            for left, right in segment.sack_blocks:
+                self.scoreboard.record(seq_diff(left, base), seq_diff(right, base))
+        acked = self._offset_for_ack(segment.ack)
+        fin_point = self._fin_offset() + 1 if self.fin_sent else None
+        max_valid = fin_point if fin_point is not None else self.send_buffer.end
+        if acked > max_valid:
+            # ACK for data we never sent — ignore.
+            return
+        data_acked = min(acked, self.send_buffer.end)
+        if data_acked > self.snd_una or (
+            fin_point is not None and acked == fin_point and not self.fin_acked
+        ):
+            newly = data_acked - self.snd_una
+            self.snd_una = max(self.snd_una, data_acked)
+            self.snd_nxt = max(self.snd_nxt, self.snd_una)
+            self.send_buffer.ack_to(self.snd_una)
+            self.scoreboard.advance(self.snd_una)
+            self._retries = 0
+            self._dupacks = 0
+            # RTT sample (Karn-valid ones only).
+            if self._rtt_sample is not None and self.snd_una >= self._rtt_sample[0]:
+                self.rto.on_measurement(self.sim.now - self._rtt_sample[1])
+                self._rtt_sample = None
+            self.rto.reset_backoff()
+            if self.congestion.in_fast_recovery:
+                if self.congestion.ack_covers_recovery(self.snd_una):
+                    self.congestion.on_full_ack_in_recovery()
+                else:
+                    # NewReno partial ACK: retransmit the next hole.
+                    self._retransmit_head()
+            else:
+                self.congestion.on_ack(newly, self.snd_nxt)
+            if fin_point is not None and acked == fin_point:
+                self.fin_acked = True
+                self._fin_acked_transition()
+            if self.snd_una >= self.snd_nxt and not (self.fin_sent and not self.fin_acked):
+                self.rtx_timer.stop()
+            else:
+                self.rtx_timer.start(self.rto.rto)
+            if self.on_send_space and self.send_buffer.free_space > 0:
+                self.on_send_space()
+        elif (
+            data_acked == self.snd_una
+            and self.flight_size > 0
+            and not segment.data
+            and not segment.fin
+        ):
+            self._dupacks += 1
+            if self._dupacks == self.options.dupack_threshold:
+                if self.congestion.on_dupacks(self.flight_size, self.snd_nxt):
+                    self._retransmit_head()
+            elif self._dupacks > self.options.dupack_threshold:
+                self.congestion.on_extra_dupack()
+                self._try_send()
+
+    def _fin_acked_transition(self) -> None:
+        if self.state == TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+        elif self.state == TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state == TcpState.LAST_ACK:
+            self._teardown("closed")
+
+    # -- payload / FIN ---------------------------------------------------------
+
+    def _process_payload(self, segment: TCPSegment) -> None:
+        if self.irs is None:
+            return
+        offset = self._offset_for_seq(segment.seq)
+        had_payload = bool(segment.data)
+        is_old = had_payload and offset + len(segment.data) <= self.reassembler.in_order_end
+        if had_payload and (is_old or offset < self.reassembler.in_order_end):
+            # Fully or partially old data: a retransmission from the
+            # peer.  The ft failure detector counts these (paper §4.3).
+            if self.on_retransmission_observed is not None:
+                self.on_retransmission_observed(segment)
+        if had_payload:
+            self.bytes_received += len(segment.data)
+            if (
+                not self.options.stage_gated_data
+                and self.deposit_limit is not None
+                and offset + len(segment.data) > self.reassembler.in_order_end
+            ):
+                ceiling = self._deposit_ceiling()
+                if ceiling is not None and offset + len(segment.data) > ceiling:
+                    # Conservative-kernel emulation: data the deposit
+                    # gate cannot admit yet is dropped outright; the
+                    # client's retransmission will pick up where message
+                    # delivery was interrupted (paper §4.3/§5).
+                    return
+            edge = self._window_right_edge()
+            end = offset + len(segment.data)
+            if offset >= self.reassembler.in_order_end and (
+                offset >= edge or (not self.options.rfc_window_edge and end > edge)
+            ):
+                # Beyond the window edge.  RFC mode: a zero-window
+                # probe / overrun — drop the payload but re-ACK so the
+                # sender's persist machinery keeps working.
+                # Conservative mode: a tail drop at the retreated edge —
+                # silent, recovered by the client's RTO (paper §5).
+                if self.options.rfc_window_edge:
+                    self._send_ack_now()
+                return
+            before = self.reassembler.in_order_end
+            self.reassembler.add(offset, segment.data)
+            advanced = self.reassembler.in_order_end > before
+            out_of_order = not advanced
+        else:
+            out_of_order = False
+        if segment.fin:
+            fin_off = offset + len(segment.data)
+            if self.peer_fin_offset is None:
+                self.peer_fin_offset = fin_off
+        deposited = self._try_deposit()
+        if had_payload:
+            # Out-of-order or duplicate data wants an immediate dup-ACK
+            # (fast retransmit depends on it).  In-order data that the
+            # deposit gate is holding back must NOT be dup-ACKed — the
+            # acknowledgement follows when the gate opens — so gated
+            # arrivals fall back to the delayed-ACK timer as a safety
+            # net only and do not count toward the 2-segment rule.
+            self._schedule_ack(
+                immediate=out_of_order or is_old, countable=deposited
+            )
+        elif segment.fin and not deposited:
+            # Retransmitted FIN (the original was already consumed and
+            # ACKed from the state transition): re-ACK it.
+            self._send_ack_now()
+
+    def _deposit_ceiling(self) -> Optional[int]:
+        if self.deposit_limit is None:
+            return None
+        return self.deposit_limit()
+
+    def _try_deposit(self) -> bool:
+        """Move staged bytes into the socket buffer as far as the
+        deposit gate allows.  Returns True if anything was deposited or
+        the FIN was consumed."""
+        progressed = False
+        ceiling = self._deposit_ceiling()
+        target = self.reassembler.in_order_end
+        if ceiling is not None:
+            target = min(target, ceiling)
+        n = target - self.reassembler.take_point
+        if n > 0:
+            data = self.reassembler.take(n)
+            self.socket_buffer.deposit(data)
+            progressed = True
+            if self.on_deposit is not None:
+                self.on_deposit(self.ack_point)
+            if self.on_data is not None and self.socket_buffer.size:
+                payload = self.socket_buffer.read()
+                self.on_data(payload)
+        # Peer FIN is consumable once all payload before it deposited
+        # and the gate lets us past it.
+        if (
+            self.peer_fin_offset is not None
+            and not self.fin_deposited
+            and self.ack_point >= self.peer_fin_offset
+            and self.reassembler.in_order_end >= self.peer_fin_offset
+            and (ceiling is None or ceiling > self.peer_fin_offset)
+        ):
+            self.fin_deposited = True
+            progressed = True
+            self._fin_received_transition()
+        return progressed
+
+    def _fin_received_transition(self) -> None:
+        if self.state == TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+        elif self.state == TcpState.FIN_WAIT_1:
+            # Our FIN not yet acked, theirs arrived: simultaneous close.
+            self.state = TcpState.CLOSING
+        elif self.state == TcpState.FIN_WAIT_2:
+            self._enter_time_wait()
+        self._send_ack_now()
+        if self.on_remote_close:
+            self.on_remote_close()
+
+    def _enter_time_wait(self) -> None:
+        self.state = TcpState.TIME_WAIT
+        self.rtx_timer.stop()
+        self.persist_timer.stop()
+        self.ack_timer.stop()
+        self.time_wait_timer.start(2 * self.options.msl)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+
+    def _teardown(self, reason: str) -> None:
+        if self.state == TcpState.CLOSED and self._closed_reported:
+            return
+        self.state = TcpState.CLOSED
+        for timer in (self.rtx_timer, self.ack_timer, self.persist_timer, self.time_wait_timer):
+            timer.stop()
+        self.stack.connection_closed(self)
+        if not self._closed_reported:
+            self._closed_reported = True
+            if self.on_closed:
+                self.on_closed(reason)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpConnection {self.local_ip}:{self.local_port} -> "
+            f"{self.remote_ip}:{self.remote_port} {self.state.value}>"
+        )

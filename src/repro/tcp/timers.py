@@ -1,0 +1,66 @@
+"""Retransmission-timeout estimation: Jacobson/Karels with Karn's rule.
+
+The RTO estimator matters directly to the reproduction: the paper
+attributes most of the primary+backup throughput loss to *timeouts* at
+the client ("it is the lengthy timeout, not the re-transmission, which
+affects the performance"), so timeout behaviour must be faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .options import TcpOptions
+
+
+class RtoEstimator:
+    """SRTT/RTTVAR smoothing per RFC 6298 (alpha=1/8, beta=1/4)."""
+
+    def __init__(self, options: TcpOptions):
+        self._options = options
+        self._srtt: Optional[float] = None
+        self._rttvar: Optional[float] = None
+        self._rto = options.initial_rto
+        self._backoff = 0
+        self.samples = 0
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self._srtt
+
+    @property
+    def rttvar(self) -> Optional[float]:
+        return self._rttvar
+
+    @property
+    def rto(self) -> float:
+        """Current RTO including exponential backoff, clamped."""
+        rto = self._rto * (2**self._backoff)
+        return min(max(rto, self._options.min_rto), self._options.max_rto)
+
+    @property
+    def backoff_count(self) -> int:
+        return self._backoff
+
+    def on_measurement(self, rtt: float) -> None:
+        """Feed one RTT sample (never from a retransmitted segment —
+        Karn's rule is the caller's responsibility)."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        self.samples += 1
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2
+        else:
+            err = rtt - self._srtt
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(err)
+            self._srtt = self._srtt + err / 8
+        self._rto = self._srtt + max(4 * self._rttvar, 0.010)
+        self._backoff = 0
+
+    def on_timeout(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self._backoff += 1
+
+    def reset_backoff(self) -> None:
+        self._backoff = 0

@@ -1,0 +1,19 @@
+"""UDP protocol stack (carries the ack channel and management protocol)."""
+
+from .udp import (
+    DatagramHandler,
+    EPHEMERAL_PORT_START,
+    PortInUseError,
+    UdpError,
+    UdpSocket,
+    UdpStack,
+)
+
+__all__ = [
+    "DatagramHandler",
+    "EPHEMERAL_PORT_START",
+    "PortInUseError",
+    "UdpError",
+    "UdpSocket",
+    "UdpStack",
+]

@@ -1,0 +1,20 @@
+"""Workload generators and parameter sweeps."""
+
+from .cross_traffic import CrossTrafficFlow, CrossTrafficStats
+from .generators import (
+    FIGURE4_PACKET_SIZES,
+    HttpWorkload,
+    RequestRecord,
+    nbuf_for_size,
+    ttcp_sweep_sizes,
+)
+
+__all__ = [
+    "CrossTrafficFlow",
+    "CrossTrafficStats",
+    "FIGURE4_PACKET_SIZES",
+    "HttpWorkload",
+    "RequestRecord",
+    "nbuf_for_size",
+    "ttcp_sweep_sizes",
+]

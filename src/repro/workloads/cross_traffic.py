@@ -1,0 +1,84 @@
+"""Background (cross) traffic: UDP flows that load links so experiments
+can study HydraNet-FT under congestion rather than on an idle network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.addressing import as_address
+from repro.netsim.host import Host
+from repro.sockets.api import node_for
+
+CROSS_TRAFFIC_PORT = 9
+
+
+@dataclass
+class CrossTrafficStats:
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.datagrams_sent == 0:
+            return 0.0
+        return self.datagrams_received / self.datagrams_sent
+
+
+class CrossTrafficFlow:
+    """A constant-bit-rate UDP flow from one host to another.
+
+    ``rate_bps`` is offered load in payload bits/second; the flow sends
+    fixed-size datagrams at the corresponding interval.  Start/stop at
+    any virtual time; stats count end-to-end delivery.
+    """
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        rate_bps: float = 2_000_000.0,
+        datagram_size: int = 1000,
+        port: int = CROSS_TRAFFIC_PORT,
+    ):
+        self.src = src
+        self.dst_ip = dst.ip
+        self.sim = src.sim
+        self.datagram_size = datagram_size
+        self.interval = datagram_size * 8 / rate_bps
+        self.port = port
+        self.stats = CrossTrafficStats()
+        self._running = False
+        self._payload = b"\x00" * datagram_size
+        self._socket = node_for(src).udp_socket()
+        sink = node_for(dst).udp_socket()
+        try:
+            sink.bind(port)
+        except Exception:
+            pass  # a sink for this port already exists on dst
+        else:
+            sink.on_datagram = self._on_received
+
+    def _on_received(self, data, src_ip, src_port, dst_ip) -> None:
+        self.stats.datagrams_received += 1
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Start now, stop after ``duration`` (convenience)."""
+        self.start()
+        self.sim.schedule(duration, self.stop)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._socket.send_to(self.dst_ip, self.port, self._payload)
+        self.stats.datagrams_sent += 1
+        self.sim.schedule(self.interval, self._tick)

@@ -1,0 +1,126 @@
+"""Acknowledgement-channel behaviour, including the paper's explicit
+trade-off: lost channel messages cost client retransmissions but never
+correctness."""
+
+import pytest
+
+from repro.core import ACK_CHANNEL_PORT, AckChannelMessage
+from repro.netsim import IPAddress
+
+from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+
+
+def test_message_connection_key():
+    msg = AckChannelMessage(
+        service_ip=IPAddress(SERVICE_IP),
+        service_port=80,
+        client_ip=IPAddress("10.0.0.1"),
+        client_port=5555,
+        seq_next=100,
+        ack=200,
+    )
+    assert msg.connection_key == (
+        IPAddress(SERVICE_IP),
+        80,
+        IPAddress("10.0.0.1"),
+        5555,
+    )
+
+
+def test_unclaimed_messages_counted(testbed):
+    endpoint = testbed.nodes[0].ack_endpoint
+    sock = testbed.nodes[1].host_server.node.udp_socket()
+    bogus = AckChannelMessage(
+        service_ip=IPAddress("203.0.113.7"),  # no such service
+        service_port=9,
+        client_ip=IPAddress("10.0.0.1"),
+        client_port=1,
+        seq_next=0,
+        ack=0,
+    )
+    sock.send_to(testbed.servers[0].ip, ACK_CHANNEL_PORT, bogus)
+    testbed.run_for(1.0)
+    assert endpoint.messages_unclaimed == 1
+
+
+def test_transfer_survives_ack_channel_loss():
+    """Paper §4.3: the UDP channel trades overhead against client
+    retransmissions when messages are lost — correctness holds."""
+    testbed = FtTestbed(n_backups=1, seed=21)
+    # Lossy path redirector<->primary hurts the ack channel (backup ->
+    # redirector -> primary); make only that direction lossy.
+    link = testbed.topo.find_link("redirector", "hs_a")
+    link.a_to_b.loss_rate = 0.25
+    got = bytearray()
+    payload = bytes(i % 256 for i in range(20_000))
+    conn = testbed.connect()
+    conn.on_data = got.extend
+    sent = {"n": 0}
+
+    def pump():
+        while sent["n"] < len(payload):
+            n = conn.send(payload[sent["n"] : sent["n"] + 4096])
+            sent["n"] += n
+            if n == 0:
+                break
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    testbed.run_for(600.0)
+    assert bytes(got) == payload
+
+
+def test_gates_open_monotonically(testbed):
+    """Out-of-order or duplicated channel messages never move gates
+    backwards."""
+    conn = testbed.connect()
+    conn.on_established = lambda: conn.send(b"g" * 5000)
+    testbed.run_for(2.0)
+    state = list(testbed.primary_handle.ft_port.states.values())[0]
+    sent_before = state.successor_sent_upto
+    deposited_before = state.successor_deposited_upto
+    assert sent_before > 0
+    # Replay an old (stale) message: gates must not regress.
+    stale = AckChannelMessage(
+        service_ip=IPAddress(SERVICE_IP),
+        service_port=SERVICE_PORT,
+        client_ip=conn.local_ip,
+        client_port=conn.local_port,
+        seq_next=state.conn.iss + 1,  # stream offset 0
+        ack=state.conn.irs + 1,
+    )
+    state.apply(stale, testbed.servers[1].ip)
+    assert state.successor_sent_upto == sent_before
+    assert state.successor_deposited_upto == deposited_before
+
+
+def test_backup_reports_flow_info_for_pure_acks(testbed):
+    """Even dataless backup segments (window updates / ACKs) feed the
+    channel — that is how deposit progress propagates."""
+    conn = testbed.connect()
+    conn.on_established = lambda: conn.send(b"no reply expected")
+    testbed.run_for(2.0)
+    assert testbed.nodes[1].ack_endpoint.messages_sent >= 1
+
+
+def test_congestion_shutdown_of_responsive_replica():
+    """A replica that answers pings but keeps getting reported is shut
+    down by the congestion rule and goes silent (fail-stop)."""
+    testbed = FtTestbed(n_backups=1, seed=3)
+    testbed.run_for(1.0)
+    backup_port = testbed.backup_handles[0].ft_port
+    for _ in range(3):
+        testbed.nodes[0].daemon.report_failure(
+            SERVICE_IP, SERVICE_PORT, suspects=[testbed.servers[1].ip]
+        )
+        testbed.run_for(2.0)
+    assert backup_port.shut_down
+    entry = testbed.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+    assert entry.replicas == [testbed.servers[0].ip]
+    # And the no-longer-gated primary keeps serving clients.
+    got = bytearray()
+    conn = testbed.connect()
+    conn.on_data = got.extend
+    conn.on_established = lambda: conn.send(b"still here")
+    testbed.run_for(10.0)
+    assert bytes(got) == b"still here"

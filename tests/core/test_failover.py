@@ -1,0 +1,203 @@
+"""Fail-over: crash detection, reconfiguration, promotion, and client
+transparency (paper §4.3-§4.4)."""
+
+import pytest
+
+from repro.core import DetectorParams, PortMode
+from repro.tcp import TcpState
+
+from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+
+
+def streaming_client(testbed, total=40_000, chunk=2048):
+    """A client that pumps `total` bytes and records echoed data."""
+    conn = testbed.connect()
+    got = bytearray()
+    conn.on_data = got.extend
+    sent = {"n": 0}
+    payload = bytes(i % 256 for i in range(total))
+
+    def pump():
+        while sent["n"] < total:
+            n = conn.send(payload[sent["n"] : sent["n"] + chunk])
+            sent["n"] += n
+            if n == 0:
+                break
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    return conn, got, payload
+
+
+class TestPrimaryFailover:
+    def test_primary_crash_promotes_backup(self, testbed):
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        testbed.primary_server.crash()
+        testbed.run_for(60.0)
+        backup_port = testbed.backup_handles[0].ft_port
+        assert backup_port.is_primary
+        assert backup_port.promotions == 1
+        entry = testbed.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+        assert entry.replicas == [testbed.servers[1].ip]
+
+    def test_transfer_completes_across_primary_crash(self, testbed):
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        testbed.primary_server.crash()
+        testbed.run_for(120.0)
+        assert bytes(got) == payload
+        assert conn.state in (TcpState.ESTABLISHED,)
+
+    def test_client_sees_no_reset_or_close(self, testbed):
+        events = []
+        conn, got, payload = streaming_client(testbed)
+        conn.on_closed = events.append
+        conn.on_remote_close = lambda: events.append("remote-close")
+        testbed.run_for(0.05)
+        testbed.primary_server.crash()
+        testbed.run_for(120.0)
+        assert events == []  # full client transparency
+
+    def test_failure_detected_via_client_retransmissions(self, testbed):
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        detector = testbed.backup_handles[0].ft_port.detector
+        testbed.primary_server.crash()
+        testbed.run_for(120.0)
+        assert detector.observations > 0
+        assert detector.reports >= 1
+
+    def test_no_bytes_lost_no_bytes_duplicated(self, testbed):
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        testbed.primary_server.crash()
+        testbed.run_for(120.0)
+        new_primary_conn = testbed.server_conn(1)
+        assert new_primary_conn.socket_buffer.total_deposited == len(payload)
+        assert bytes(got) == payload
+
+    def test_failover_latency_reasonable(self, testbed):
+        """Detection + reconfiguration happens within seconds (driven
+        by client RTO backoff and the ping timeout), not minutes."""
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        crash_time = testbed.sim.now
+        testbed.primary_server.crash()
+        promoted = {}
+
+        def check():
+            if testbed.backup_handles[0].ft_port.is_primary and "t" not in promoted:
+                promoted["t"] = testbed.sim.now
+            elif "t" not in promoted:
+                testbed.sim.schedule(0.1, check)
+
+        testbed.sim.schedule(0.1, check)
+        testbed.run_for(120.0)
+        assert "t" in promoted
+        assert promoted["t"] - crash_time < 30.0
+
+    def test_second_connection_after_failover(self, testbed):
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        testbed.primary_server.crash()
+        testbed.run_for(60.0)
+        got2 = bytearray()
+        conn2 = testbed.connect()
+        conn2.on_data = got2.extend
+        conn2.on_established = lambda: conn2.send(b"after failover")
+        testbed.run_for(30.0)
+        assert bytes(got2) == b"after failover"
+
+
+class TestBackupFailure:
+    def test_backup_crash_releases_primary_gates(self, testbed):
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        testbed.servers[1].crash()
+        testbed.run_for(120.0)
+        # The primary was gated on the dead backup; reconfiguration
+        # must have un-gated it so the transfer completes.
+        assert bytes(got) == payload
+        primary_port = testbed.primary_handle.ft_port
+        assert not primary_port.has_successor
+        entry = testbed.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+        assert entry.replicas == [testbed.servers[0].ip]
+
+    def test_dead_backup_named_as_suspect(self, testbed):
+        conn, got, payload = streaming_client(testbed)
+        testbed.run_for(0.05)
+        testbed.servers[1].crash()
+        testbed.run_for(120.0)
+        # The primary saw its successor go quiet and reported it.
+        assert testbed.nodes[0].daemon.failure_reports_sent >= 1
+
+    def test_middle_backup_crash_rechains(self, testbed2):
+        conn, got, payload = streaming_client(testbed2)
+        testbed2.run_for(0.05)
+        testbed2.servers[1].crash()  # S1 of S0<-S1<-S2
+        testbed2.run_for(120.0)
+        assert bytes(got) == payload
+        entry = testbed2.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+        assert entry.replicas == [testbed2.servers[0].ip, testbed2.servers[2].ip]
+        last_port = testbed2.ft_port(2)
+        assert last_port.predecessor_ip == testbed2.servers[0].ip
+
+
+class TestCascadingFailures:
+    def test_primary_then_backup_crash(self, testbed2):
+        conn, got, payload = streaming_client(testbed2)
+        testbed2.run_for(0.05)
+        testbed2.servers[0].crash()
+
+        # Crash the new primary the moment it is promoted, while the
+        # client is still mid-transfer (an idle crash is undetectable
+        # until traffic flows again — detection rides on client
+        # retransmissions).
+        def watch():
+            if testbed2.ft_port(1).is_primary:
+                testbed2.servers[1].crash()
+            else:
+                testbed2.sim.schedule(0.05, watch)
+
+        testbed2.sim.schedule(0.05, watch)
+        testbed2.run_for(240.0)
+        assert testbed2.ft_port(2).is_primary
+        assert bytes(got) == payload
+
+    def test_all_backups_crash_primary_survives(self, testbed2):
+        conn, got, payload = streaming_client(testbed2)
+        testbed2.run_for(0.05)
+        testbed2.servers[1].crash()
+        testbed2.servers[2].crash()
+        testbed2.run_for(180.0)
+        assert bytes(got) == payload
+        entry = testbed2.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+        assert entry.replicas == [testbed2.servers[0].ip]
+
+
+class TestVoluntaryDeparture:
+    def test_primary_leaves_gracefully(self, testbed):
+        testbed.run_for(1.0)
+        testbed.service.remove_replica(testbed.primary_handle)
+        testbed.run_for(10.0)
+        backup_port = testbed.backup_handles[0].ft_port
+        assert backup_port.is_primary
+        got = bytearray()
+        conn = testbed.connect()
+        conn.on_data = got.extend
+        conn.on_established = lambda: conn.send(b"served by ex-backup")
+        testbed.run_for(10.0)
+        assert bytes(got) == b"served by ex-backup"
+
+    def test_backup_leaves_gracefully(self, testbed):
+        testbed.run_for(1.0)
+        testbed.service.remove_replica(testbed.backup_handles[0])
+        testbed.run_for(10.0)
+        assert not testbed.primary_handle.ft_port.has_successor
+        got = bytearray()
+        conn = testbed.connect()
+        conn.on_data = got.extend
+        conn.on_established = lambda: conn.send(b"single replica")
+        testbed.run_for(10.0)
+        assert bytes(got) == b"single replica"

@@ -1,0 +1,89 @@
+"""Tests for heartbeat-based failure detection (ablation A7)."""
+
+import pytest
+
+from repro.apps.echo import echo_server_factory
+from repro.core import DetectorParams
+from repro.core.heartbeat import HeartbeatDetector, enable_heartbeats
+from repro.experiments.testbeds import build_ft_system
+
+
+def build(period=0.5, tolerance=3, seed=0):
+    system = build_ft_system(
+        seed=seed,
+        n_backups=1,
+        factory=echo_server_factory,
+        port=7,
+        detector=DetectorParams(threshold=1_000_000),  # paper detector off
+    )
+    detector, senders = enable_heartbeats(
+        system.redirector_daemon,
+        system.nodes,
+        system.service_ip,
+        7,
+        period=period,
+        tolerance=tolerance,
+    )
+    return system, detector, senders
+
+
+def test_idle_crash_detected():
+    system, detector, senders = build()
+    system.sim.schedule(0.5, system.servers[0].crash)
+    system.run_until(30.0)
+    assert detector.detections >= 1
+    assert system.service.replicas[1].ft_port.is_primary
+
+
+def test_detection_latency_bounded_by_period_times_tolerance():
+    system, detector, senders = build(period=0.5, tolerance=3)
+    crash_at = system.sim.now + 1.0
+    promoted = {}
+
+    def watch():
+        if system.service.replicas[1].ft_port.is_primary:
+            promoted["t"] = system.sim.now
+        else:
+            system.sim.schedule(0.05, watch)
+
+    system.sim.schedule_at(crash_at, system.servers[0].crash)
+    system.sim.schedule_at(crash_at, watch)
+    system.run_until(30.0)
+    assert "t" in promoted
+    # period * tolerance plus one sweep plus the probe round.
+    assert promoted["t"] - crash_at < 0.5 * 3 + 0.5 + 1.5
+
+
+def test_no_false_positives_while_alive():
+    system, detector, senders = build()
+    system.run_until(30.0)
+    assert detector.detections == 0
+    entry = system.redirector.entry_for(system.service_ip, 7)
+    assert len(entry.replicas) == 2
+
+
+def test_crashed_host_stops_beating():
+    system, detector, senders = build()
+    system.run_until(5.0)
+    before = senders[0].sent
+    system.servers[0].crash()
+    system.run_until(10.0)
+    assert senders[0].sent == before
+
+
+def test_sender_stop():
+    system, detector, senders = build()
+    senders[1].stop()
+    count = senders[1].sent
+    system.run_until(10.0)
+    assert senders[1].sent == count
+
+
+def test_replica_that_never_beat_is_detected():
+    """A replica that dies before its first heartbeat must still be
+    caught (the watch starts from table membership, not first contact)."""
+    system, detector, senders = build()
+    # Crash immediately, racing the first heartbeat.
+    system.servers[0].crash()
+    system.run_until(30.0)
+    assert system.service.replicas[1].ft_port.is_primary

@@ -1,0 +1,152 @@
+"""Tests for the reliable in-order acknowledgement channel (A6)."""
+
+import pytest
+
+from repro.core import DetectorParams
+from repro.core.ack_channel import (
+    AckChannelMessage,
+    ChannelAck,
+    OrderedAckChannelEndpoint,
+    SequencedAckMessage,
+)
+from repro.experiments.testbeds import build_ft_system
+from repro.apps.echo import echo_server_factory
+from repro.netsim import IPAddress
+
+
+def build(ordered, loss=0.0, seed=0):
+    system = build_ft_system(
+        seed=seed,
+        n_backups=1,
+        factory=echo_server_factory,
+        port=7,
+        detector=DetectorParams(threshold=1_000_000),
+        ordered_channel=ordered,
+    )
+    if loss:
+        system.topo.find_link("redirector", "hs_1").b_to_a.loss_rate = loss
+    return system
+
+
+def run_echo(system, n=30):
+    from repro.apps.echo import EchoClient
+
+    client = EchoClient(
+        system.client_node, system.service_ip, port=7,
+        request_size=64, n_requests=n, think_time=0.005,
+    )
+    client.start()
+    system.run_until(600.0)
+    return client
+
+
+def test_ordered_endpoint_installed():
+    system = build(ordered=True)
+    for node in system.nodes:
+        assert isinstance(node.ack_endpoint, OrderedAckChannelEndpoint)
+
+
+def test_transfer_works_on_clean_channel():
+    system = build(ordered=True)
+    client = run_echo(system)
+    assert client.stats.responses_received == 30
+    assert client.stats.errors == []
+
+
+def test_channel_heals_loss_without_client_timeouts():
+    system = build(ordered=True, loss=0.3, seed=4)
+    client = run_echo(system, n=50)
+    assert client.stats.responses_received == 50
+    # Recovery came from channel retransmissions, not client RTOs.
+    retrans = sum(n.ack_endpoint.channel_retransmissions for n in system.nodes)
+    assert retrans > 0
+    assert client.conn.congestion.timeouts == 0
+
+
+def test_holdback_reorders_gapped_messages():
+    """Deliver seq 1 before seq 0: the endpoint must hold it back and
+    release both in order."""
+    system = build(ordered=True)
+    endpoint = system.nodes[0].ack_endpoint
+    delivered = []
+    endpoint.register("203.0.113.1", 99, lambda m, src: delivered.append(m.seq_next))
+
+    def msg(seq, value):
+        return SequencedAckMessage(
+            seq,
+            AckChannelMessage(
+                service_ip=IPAddress("203.0.113.1"),
+                service_port=99,
+                client_ip=IPAddress("10.9.9.9"),
+                client_port=1,
+                seq_next=value,
+                ack=0,
+            ),
+        )
+
+    src = system.servers[1].ip
+    endpoint._receive(msg(1, 111), src, 5500, None)
+    assert delivered == []
+    assert endpoint.held_back == 1
+    endpoint._receive(msg(0, 100), src, 5500, None)
+    assert delivered == [100, 111]
+
+
+def test_duplicate_sequenced_message_ignored():
+    system = build(ordered=True)
+    endpoint = system.nodes[0].ack_endpoint
+    delivered = []
+    endpoint.register("203.0.113.1", 99, lambda m, src: delivered.append(m.seq_next))
+
+    message = SequencedAckMessage(
+        0,
+        AckChannelMessage(
+            service_ip=IPAddress("203.0.113.1"),
+            service_port=99,
+            client_ip=IPAddress("10.9.9.9"),
+            client_port=1,
+            seq_next=7,
+            ack=0,
+        ),
+    )
+    src = system.servers[1].ip
+    endpoint._receive(message, src, 5500, None)
+    endpoint._receive(message, src, 5500, None)
+    assert delivered == [7]
+
+
+def test_plain_messages_interoperate():
+    """An unordered sender's plain messages still get through an
+    ordered endpoint (mixed deployments during upgrade)."""
+    system = build(ordered=True)
+    endpoint = system.nodes[0].ack_endpoint
+    delivered = []
+    endpoint.register("203.0.113.1", 99, lambda m, src: delivered.append(m.seq_next))
+    plain = AckChannelMessage(
+        service_ip=IPAddress("203.0.113.1"),
+        service_port=99,
+        client_ip=IPAddress("10.9.9.9"),
+        client_port=1,
+        seq_next=42,
+        ack=0,
+    )
+    endpoint._receive(plain, system.servers[1].ip, 5500, None)
+    assert delivered == [42]
+
+
+def test_channel_ack_clears_pending():
+    system = build(ordered=True)
+    backup = system.nodes[1].ack_endpoint
+    message = AckChannelMessage(
+        service_ip=IPAddress("203.0.113.1"),
+        service_port=99,
+        client_ip=IPAddress("10.9.9.9"),
+        client_port=1,
+        seq_next=1,
+        ack=0,
+    )
+    dst = system.servers[0].ip
+    backup.send(message, dst)
+    assert backup._unacked[dst]
+    backup._receive(ChannelAck(acked=1), dst, 5500, None)
+    assert not backup._unacked[dst]

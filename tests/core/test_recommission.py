@@ -1,0 +1,124 @@
+"""Re-commissioning recovered servers (EXTENSION beyond the paper —
+its §6 lists this as open future work; see DESIGN.md §7)."""
+
+import pytest
+
+from repro.core import PortMode
+from repro.tcp import TcpState
+
+from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+
+
+def crash_and_failover(testbed):
+    """Crash the primary mid-transfer and wait for promotion."""
+    conn = testbed.connect()
+    got = bytearray()
+    conn.on_data = got.extend
+    conn.on_established = lambda: conn.send(b"x" * 20000)
+    testbed.run_for(0.05)
+    testbed.primary_server.crash()
+    testbed.run_for(60.0)
+    assert testbed.backup_handles[0].ft_port.is_primary
+    return conn, got
+
+
+def test_recommission_rejoins_as_last_backup(testbed):
+    crash_and_failover(testbed)
+    testbed.primary_server.recover()
+    new_handle = testbed.service.recommission(testbed.primary_handle)
+    testbed.run_for(5.0)
+    entry = testbed.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+    # Chain: old backup is primary, recovered server is last backup.
+    assert entry.replicas == [testbed.servers[1].ip, testbed.servers[0].ip]
+    assert new_handle.mode == PortMode.BACKUP
+    assert not new_handle.ft_port.is_primary
+    assert new_handle.ft_port.predecessor_ip == testbed.servers[1].ip
+
+
+def test_recommissioned_replica_serves_new_connections(testbed):
+    crash_and_failover(testbed)
+    testbed.primary_server.recover()
+    new_handle = testbed.service.recommission(testbed.primary_handle)
+    testbed.run_for(5.0)
+    got = bytearray()
+    conn = testbed.connect()
+    conn.on_data = got.extend
+    conn.on_established = lambda: conn.send(b"replicated again")
+    testbed.run_for(10.0)
+    assert bytes(got) == b"replicated again"
+    # The rejoined replica received and deposited the new connection.
+    states = list(new_handle.ft_port.states.values())
+    assert len(states) == 1
+    assert states[0].conn.socket_buffer.total_deposited == len(b"replicated again")
+
+
+def test_failback_after_recommission(testbed):
+    """Full circle: crash A, promote B, rejoin A, crash B, promote A."""
+    crash_and_failover(testbed)
+    testbed.primary_server.recover()
+    new_handle = testbed.service.recommission(testbed.primary_handle)
+    testbed.run_for(5.0)
+    # Drive traffic and crash the current primary (hs_b).
+    got = bytearray()
+    conn = testbed.connect()
+    conn.on_data = got.extend
+    sent = {"n": 0}
+    payload = bytes(i % 256 for i in range(30000))
+
+    def pump():
+        while sent["n"] < len(payload):
+            n = conn.send(payload[sent["n"] : sent["n"] + 2048])
+            sent["n"] += n
+            if n == 0:
+                break
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    testbed.run_for(0.05)
+    testbed.servers[1].crash()
+    testbed.run_for(120.0)
+    assert bytes(got) == payload
+    assert new_handle.ft_port.is_primary
+    entry = testbed.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+    assert entry.replicas == [testbed.servers[0].ip]
+
+
+def test_stale_connections_never_resume(testbed):
+    """The recovered server's pre-crash connections are dead state and
+    must not leak anything to the client after rejoin."""
+    conn, got = crash_and_failover(testbed)
+    old_states = list(testbed.primary_handle.ft_port.states.values())
+    testbed.primary_server.recover()
+    testbed.service.recommission(testbed.primary_handle)
+    testbed.run_for(10.0)
+    for state in old_states:
+        assert state.conn.state == TcpState.CLOSED
+    # The client connection survived on the promoted replica, clean.
+    assert conn.state == TcpState.ESTABLISHED
+
+
+def test_recommission_requires_recovery(testbed):
+    crash_and_failover(testbed)
+    with pytest.raises(RuntimeError):
+        testbed.service.recommission(testbed.primary_handle)
+
+
+def test_voluntary_leave_then_rejoin(testbed):
+    testbed.run_for(1.0)
+    backup_handle = testbed.backup_handles[0]
+    testbed.service.remove_replica(backup_handle)
+    testbed.run_for(5.0)
+    assert not testbed.primary_handle.ft_port.has_successor
+    rejoined = testbed.service.recommission(backup_handle)
+    testbed.run_for(5.0)
+    entry = testbed.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+    assert entry.replicas == [testbed.servers[0].ip, testbed.servers[1].ip]
+    assert testbed.primary_handle.ft_port.has_successor
+    got = bytearray()
+    conn = testbed.connect()
+    conn.on_data = got.extend
+    conn.on_established = lambda: conn.send(b"back in the chain")
+    testbed.run_for(10.0)
+    assert bytes(got) == b"back in the chain"
+    states = list(rejoined.ft_port.states.values())
+    assert states and states[0].conn.socket_buffer.total_deposited > 0

@@ -1,0 +1,48 @@
+"""The experiment runner and package entry points."""
+
+import io
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+
+def test_runner_lists_all_experiments():
+    from repro.experiments.runner import EXPERIMENTS
+
+    titles = [t for t, _ in EXPERIMENTS]
+    assert any("Figure 4" in t for t in titles)
+    for tag in ("A1", "A2", "A3", "A4", "A5", "A6", "A7", "D2"):
+        assert any(tag in t for t in titles), tag
+    # Every listed module is runnable and has the standard interface.
+    for _, module in EXPERIMENTS:
+        assert callable(module.main)
+
+
+def test_main_module_prints_overview():
+    from repro import __main__
+
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = ["repro"]
+    try:
+        with redirect_stdout(buffer):
+            status = __main__.main()
+    finally:
+        sys.argv = argv
+    assert status == 0
+    text = buffer.getvalue()
+    assert "experiments" in text
+    assert "HydraNet-FT" in text or "HYDRANET-FT" in text
+
+
+def test_single_experiment_fast_mode_runs():
+    """One representative experiment end to end through its main()."""
+    from repro.experiments import receive_path
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        status = receive_path.main(["--fast"])
+    assert status == 0
+    assert "A5" in buffer.getvalue()
+    assert "Shape check: OK" in buffer.getvalue()

@@ -1,0 +1,107 @@
+"""Tests for deterministic fault injection."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.netsim import IPAddress, IPPacket, Protocol, RawData, Simulator, Topology, ZERO_COST
+
+
+@pytest.fixture()
+def net():
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a", ZERO_COST)
+    b = topo.add_host("b", ZERO_COST)
+    link = topo.connect(a, b, bandwidth_bps=1e7, latency=0.001)
+    topo.build_routes()
+    received = []
+    b.kernel.register_protocol(Protocol.ICMP, lambda p: received.append(sim.now))
+    return sim, topo, a, b, link, received
+
+
+def ping(a, b, size=100):
+    a.kernel.send_ip(
+        IPPacket(
+            src=a.ip, dst=b.ip, protocol=Protocol.ICMP, payload=RawData(b"x" * size)
+        )
+    )
+
+
+def test_crash_at(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.crash_at(b, 1.0)
+    sim.schedule(0.5, ping, a, b)
+    sim.schedule(1.5, ping, a, b)
+    sim.run()
+    assert len(received) == 1
+    assert plan.events_of("crash")[0].target == "b"
+
+
+def test_crash_for_recovers(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.crash_for(b, 1.0, duration=2.0)
+    sim.schedule(1.5, ping, a, b)   # during outage
+    sim.schedule(3.5, ping, a, b)   # after recovery
+    sim.run()
+    assert len(received) == 1
+    kinds = [e.kind for e in plan.log]
+    assert kinds == ["crash", "recover"]
+
+
+def test_partition_with_heal(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.partition_at(link, 1.0, duration=2.0)
+    sim.schedule(1.5, ping, a, b)
+    sim.schedule(3.5, ping, a, b)
+    sim.run()
+    assert len(received) == 1
+    assert link.up
+
+
+def test_partition_permanent(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.partition_at(link, 1.0)
+    sim.schedule(2.0, ping, a, b)
+    sim.run()
+    assert received == []
+    assert not link.up
+
+
+def test_loss_burst_restores_rates(net):
+    sim, topo, a, b, link, received = net
+    link.a_to_b.loss_rate = 0.01
+    plan = FaultPlan(sim)
+    plan.loss_burst(link, 1.0, duration=1.0, loss_rate=1.0)
+    sim.schedule(1.5, ping, a, b)
+    sim.run()
+    assert received == []
+    assert link.a_to_b.loss_rate == 0.01
+    assert link.b_to_a.loss_rate == 0.0
+
+
+def test_congest_throttles_and_restores(net):
+    sim, topo, a, b, link, received = net
+    original = link.a_to_b.bandwidth_bps
+    plan = FaultPlan(sim)
+    plan.congest(link, 1.0, duration=2.0, bandwidth_factor=0.01)
+    # A packet sent during congestion takes ~100x longer to serialize.
+    sim.schedule(1.5, ping, a, b, 10000)
+    sim.run()
+    assert len(received) == 1
+    transit = received[0] - 1.5
+    assert transit > 10000 * 8 / original  # far slower than the healthy link
+    assert link.a_to_b.bandwidth_bps == original
+
+
+def test_event_log_ordering(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.crash_at(b, 2.0)
+    plan.partition_at(link, 1.0, duration=0.5)
+    sim.run()
+    times = [e.time for e in plan.log]
+    assert times == sorted(times)

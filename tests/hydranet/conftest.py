@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's testbed-style topology.
+
+client --- redirector --- host_server_a
+                   \\----- host_server_b
+                    \\---- origin (the "real" service host)
+"""
+
+import pytest
+
+from repro.hydranet import HostServer, Redirector
+from repro.netsim import I486, PENTIUM_120, Simulator, Topology, ZERO_COST
+from repro.sockets import node_for
+
+
+class HydranetNet:
+    SERVICE_IP = "192.20.225.20"
+
+    def __init__(self, seed=0, with_origin=True, profiles=False, **link_kw):
+        self.sim = Simulator(seed=seed)
+        self.topo = Topology(self.sim)
+        client_profile = I486 if profiles else ZERO_COST
+        server_profile = PENTIUM_120 if profiles else ZERO_COST
+        self.client = self.topo.add_host("client", client_profile)
+        self.redirector = Redirector(
+            self.sim,
+            "redirector",
+            profile=client_profile,
+            software_overhead=0.0 if not profiles else 40e-6,
+        )
+        self.topo.add(self.redirector)
+        self.hs_a = HostServer(
+            self.sim, "hs_a", profile=server_profile, software_overhead=0.0 if not profiles else 25e-6
+        )
+        self.hs_b = HostServer(
+            self.sim, "hs_b", profile=server_profile, software_overhead=0.0 if not profiles else 25e-6
+        )
+        self.topo.add(self.hs_a)
+        self.topo.add(self.hs_b)
+        defaults = dict(bandwidth_bps=10_000_000, latency=0.001)
+        defaults.update(link_kw)
+        self.topo.connect(self.client, self.redirector, **defaults)
+        self.topo.connect(self.redirector, self.hs_a, **defaults)
+        self.topo.connect(self.redirector, self.hs_b, **defaults)
+        if with_origin:
+            self.origin = self.topo.add_host("origin", server_profile)
+            self.topo.connect(self.redirector, self.origin, **defaults)
+            # The origin host owns the service address as a real address.
+            self.topo.add_external_network(f"{self.SERVICE_IP}/32", self.origin)
+        else:
+            self.origin = None
+            # Service address routes toward the redirector, which must
+            # intercept (the "non-existent host" setup of Figure 4).
+            self.topo.add_external_network(f"{self.SERVICE_IP}/32", self.redirector)
+        self.topo.build_routes()
+        if with_origin:
+            self.origin.kernel.virtual_addresses.add(
+                __import__("repro.netsim", fromlist=["IPAddress"]).IPAddress(self.SERVICE_IP)
+            )
+        self.client_node = node_for(self.client)
+
+    def run(self, until=None):
+        self.sim.run(until=until)
+        return self.sim.now
+
+
+@pytest.fixture()
+def hnet():
+    return HydranetNet()
+
+
+@pytest.fixture()
+def hnet_no_origin():
+    return HydranetNet(with_origin=False)

@@ -1,0 +1,116 @@
+"""Chaos soak: repeated crash / recover / recommission cycles and link
+flapping, with the client-facing invariants asserted throughout.
+
+This is the torture test a downstream adopter would want before
+trusting the fail-over machinery: byte streams stay exact, clients see
+no connection events, and the replica set converges after every wave.
+"""
+
+import pytest
+
+from repro.apps.echo import echo_server_factory
+from repro.core import DetectorParams
+from repro.experiments.testbeds import build_ft_system
+from repro.faults import FaultPlan
+
+
+def continuous_client(system, total_bytes):
+    conn = system.client_node.connect(system.service_ip, system.port)
+    got = bytearray()
+    events = []
+    payload = bytes(i % 256 for i in range(total_bytes))
+    sent = {"n": 0}
+
+    def pump():
+        while sent["n"] < total_bytes:
+            n = conn.send(payload[sent["n"] : sent["n"] + 2048])
+            sent["n"] += n
+            if n == 0:
+                return
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    conn.on_closed = events.append
+    conn.on_data = got.extend
+    return conn, got, payload, events
+
+
+def test_crash_recover_recommission_cycles():
+    """Three full waves: open a connection, crash the current primary
+    mid-transfer, fail over (the connection survives — a replica that
+    held it from its SYN remains), recover + recommission the victim,
+    repeat.  Each wave's connection is opened while both replicas are
+    in the chain, so it is fully replicated — the guarantee the paper
+    gives ("as long as there is a path between the client and at least
+    one operational server" that has the connection state)."""
+    system = build_ft_system(
+        seed=0,
+        n_backups=1,
+        factory=echo_server_factory,
+        port=7,
+        detector=DetectorParams(threshold=3, cooldown=1.0),
+    )
+    for wave in range(3):
+        conn, got, payload, events = continuous_client(system, 120_000)
+        victim = system.service.primary
+        assert victim is not None, f"wave {wave}: no live primary"
+        system.run_for(0.3)
+        victim.node.host_server.crash()
+        # Wait for fail-over and for the wave's transfer to finish.
+        deadline = system.sim.now + 120.0
+        while system.sim.now < deadline and len(got) < len(payload):
+            system.run_for(1.0)
+        assert bytes(got) == payload, f"wave {wave}: stream broken"
+        assert events == [], f"wave {wave}: client saw {events}"
+        promoted = system.service.primary
+        assert promoted is not None and promoted is not victim, f"wave {wave}"
+        # Recover the victim and fold it back in as last backup.
+        victim.node.host_server.recover()
+        system.service.recommission(victim)
+        system.run_for(5.0)
+        entry = system.redirector.entry_for(system.service_ip, system.port)
+        assert len(entry.replicas) == 2, f"wave {wave}: set did not converge"
+        conn.close()
+        system.run_for(2.0)
+
+
+def test_flapping_backup_link():
+    """A backup behind a flapping link either rides the flaps out or is
+    fail-stopped; the client stream is exact either way."""
+    system = build_ft_system(
+        seed=1,
+        n_backups=1,
+        factory=echo_server_factory,
+        port=7,
+        detector=DetectorParams(threshold=4, cooldown=2.0),
+    )
+    conn, got, payload, events = continuous_client(system, 150_000)
+    plan = FaultPlan(system.sim)
+    link = system.topo.find_link("redirector", "hs_1")
+    plan.flap(link, start=system.sim.now + 0.2, period=4.0, duty_down=1.0, cycles=5)
+    system.run_until(600.0)
+    assert bytes(got) == payload
+    assert events == []
+    # The primary is still the primary (its own path never flapped).
+    assert system.service.replicas[0].ft_port.is_primary
+
+
+def test_flapping_primary_link_converges():
+    """Flapping on the primary's link: the system must converge to a
+    serving configuration (either the primary survives the flaps or the
+    backup takes over), with the stream exact."""
+    system = build_ft_system(
+        seed=2,
+        n_backups=1,
+        factory=echo_server_factory,
+        port=7,
+        detector=DetectorParams(threshold=3, cooldown=1.0),
+    )
+    conn, got, payload, events = continuous_client(system, 150_000)
+    plan = FaultPlan(system.sim)
+    link = system.topo.find_link("redirector", "hs_0")
+    plan.flap(link, start=system.sim.now + 0.2, period=5.0, duty_down=2.0, cycles=4)
+    system.run_until(600.0)
+    assert bytes(got) == payload
+    assert events == []
+    assert system.service.primary is not None

@@ -1,0 +1,101 @@
+"""Scale: many concurrent clients and connections through one
+fault-tolerant service, with and without a mid-run fail-over."""
+
+import pytest
+
+from repro.apps.echo import echo_server_factory
+from repro.core import DetectorParams, FtNode, ReplicatedTcpService
+from repro.hydranet import HostServer, Redirector, RedirectorDaemon
+from repro.netsim import Simulator, Topology, ZERO_COST
+from repro.sockets import node_for
+
+SERVICE_IP = "192.20.225.20"
+N_CLIENTS = 10
+CONNS_PER_CLIENT = 3
+
+
+def build_big_world(seed=0):
+    sim = Simulator(seed=seed)
+    topo = Topology(sim)
+    clients = [topo.add_host(f"c{i}", ZERO_COST) for i in range(N_CLIENTS)]
+    redirector = Redirector(sim, "rd", ZERO_COST, software_overhead=0.0)
+    topo.add(redirector)
+    hs_a = HostServer(sim, "hs_a", ZERO_COST, software_overhead=0.0)
+    hs_b = HostServer(sim, "hs_b", ZERO_COST, software_overhead=0.0)
+    topo.add(hs_a)
+    topo.add(hs_b)
+    for c in clients:
+        topo.connect(c, redirector, bandwidth_bps=10e6, latency=0.001)
+    topo.connect(redirector, hs_a, bandwidth_bps=100e6, latency=0.001)
+    topo.connect(redirector, hs_b, bandwidth_bps=100e6, latency=0.001)
+    topo.add_external_network(f"{SERVICE_IP}/32", redirector)
+    topo.build_routes()
+    RedirectorDaemon(redirector)
+    service = ReplicatedTcpService(
+        SERVICE_IP, 7, echo_server_factory, detector=DetectorParams(threshold=3, cooldown=1.0)
+    )
+    service.add_primary(FtNode(hs_a, redirector.ip))
+    service.add_backup(FtNode(hs_b, redirector.ip))
+    sim.run(until=2.0)
+    return sim, clients, (hs_a, hs_b), service
+
+
+def launch_clients(sim, clients, payload_size=5000):
+    """Each client opens several echo connections; returns collectors."""
+    sessions = []
+    for i, client in enumerate(clients):
+        node = node_for(client)
+        for j in range(CONNS_PER_CLIENT):
+            payload = bytes((i * 31 + j * 7 + k) % 256 for k in range(payload_size))
+            conn = node.connect(SERVICE_IP, 7)
+            got = bytearray()
+            conn.on_data = got.extend
+            sent = {"n": 0}
+
+            def pump(conn=conn, payload=payload, sent=sent):
+                while sent["n"] < len(payload):
+                    n = conn.send(payload[sent["n"] : sent["n"] + 2048])
+                    sent["n"] += n
+                    if n == 0:
+                        return
+
+            conn.on_established = pump
+            conn.on_send_space = pump
+            sessions.append((conn, got, payload))
+    return sessions
+
+
+def test_thirty_concurrent_connections():
+    sim, clients, servers, service = build_big_world()
+    sessions = launch_clients(sim, clients)
+    sim.run(until=120.0)
+    assert len(sessions) == N_CLIENTS * CONNS_PER_CLIENT
+    for conn, got, payload in sessions:
+        assert bytes(got) == payload
+    # Every replica tracked every connection.
+    for handle in service.replicas:
+        assert len(handle.ft_port.states) == len(sessions)
+
+
+def test_thirty_connections_across_failover():
+    sim, clients, (hs_a, hs_b), service = build_big_world(seed=3)
+    sessions = launch_clients(sim, clients, payload_size=20_000)
+    sim.run(until=sim.now + 0.05)
+    hs_a.crash()
+    sim.run(until=600.0)
+    complete = sum(1 for conn, got, payload in sessions if bytes(got) == payload)
+    assert complete == len(sessions)
+    assert service.replicas[1].ft_port.is_primary
+    # No client saw a reset.
+    for conn, got, payload in sessions:
+        assert conn.state.value in ("ESTABLISHED", "CLOSE_WAIT")
+
+
+def test_deterministic_at_scale():
+    def run_once():
+        sim, clients, servers, service = build_big_world(seed=9)
+        sessions = launch_clients(sim, clients, payload_size=3000)
+        sim.run(until=60.0)
+        return sim.events_processed, sim.now
+
+    assert run_once() == run_once()

@@ -1,0 +1,69 @@
+"""Tests for the per-connection statistics reporter."""
+
+import pytest
+
+from repro.metrics import report_for
+from repro.netsim import Simulator, Topology, ZERO_COST
+from repro.tcp import TcpStack
+
+
+@pytest.fixture()
+def transfer():
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a", ZERO_COST)
+    b = topo.add_host("b", ZERO_COST)
+    topo.connect(a, b)
+    topo.build_routes()
+    client_stack, server_stack = TcpStack(a), TcpStack(b)
+    listener = server_stack.listen(80)
+    server_conns = []
+
+    def accept(conn):
+        server_conns.append(conn)
+        conn.on_data = lambda data: None
+
+    listener.on_accept = accept
+    conn = client_stack.connect(b.ip, 80)
+    conn.on_established = lambda: conn.send(b"x" * 5000)
+    sim.run(until=10.0)
+    return conn, server_conns[0]
+
+
+def test_sender_report(transfer):
+    client_conn, server_conn = transfer
+    report = report_for(client_conn)
+    assert report.bytes_sent == 5000
+    assert report.segments_sent > 0
+    assert report.retransmitted_segments == 0
+    assert report.retransmission_rate == 0.0
+    assert report.state == "ESTABLISHED"
+    assert report.srtt_ms > 0
+
+
+def test_receiver_report(transfer):
+    client_conn, server_conn = transfer
+    report = report_for(server_conn)
+    assert report.bytes_received == 5000
+    assert report.deposited == 5000
+
+
+def test_render_contains_key_fields(transfer):
+    client_conn, _ = transfer
+    text = report_for(client_conn).render()
+    assert "5000B" in text
+    assert "ESTABLISHED" in text
+    assert "srtt" in text
+    assert str(client_conn.local_port) in text
+
+
+def test_retransmission_rate_division_safe():
+    from repro.metrics.connstats import ConnectionReport
+
+    report = ConnectionReport(
+        local="a", remote="b", state="CLOSED",
+        bytes_sent=0, bytes_received=0, segments_sent=0, segments_received=0,
+        retransmitted_segments=0, suppressed_segments=0, rto_timeouts=0,
+        fast_retransmits=0, srtt_ms=0.0, cwnd=0, deposited=0,
+    )
+    assert report.retransmission_rate == 0.0

@@ -1,0 +1,147 @@
+"""Tests for IP fragmentation and reassembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim import (
+    FragmentationError,
+    IPAddress,
+    IPPacket,
+    Protocol,
+    RawData,
+    Reassembler,
+    Simulator,
+    fragment_packet,
+)
+from repro.netsim.packet import IP_HEADER_SIZE
+
+
+def make_packet(payload_size, **kw):
+    return IPPacket(
+        src=IPAddress("10.0.0.1"),
+        dst=IPAddress("10.0.0.2"),
+        protocol=Protocol.UDP,
+        payload=RawData(b"d" * payload_size),
+        **kw,
+    )
+
+
+class TestFragmentation:
+    def test_small_packet_unchanged(self):
+        packet = make_packet(100)
+        assert fragment_packet(packet, 1500) == [packet]
+
+    def test_fragment_count_and_sizes(self):
+        packet = make_packet(3000)
+        frags = fragment_packet(packet, 1500)
+        # 1480 bytes of payload per fragment.
+        assert len(frags) == 3
+        assert frags[0].payload.wire_size == 1480
+        assert frags[1].payload.wire_size == 1480
+        assert frags[2].payload.wire_size == 40
+
+    def test_every_fragment_fits_mtu(self):
+        frags = fragment_packet(make_packet(5000), 576)
+        assert all(f.wire_size <= 576 for f in frags)
+
+    def test_offsets_are_multiples_of_eight(self):
+        frags = fragment_packet(make_packet(5000), 577)
+        assert all(f.frag_offset % 8 == 0 for f in frags)
+
+    def test_more_fragments_flags(self):
+        frags = fragment_packet(make_packet(3000), 1500)
+        assert [f.more_fragments for f in frags] == [True, True, False]
+
+    def test_fragments_share_ident(self):
+        packet = make_packet(3000)
+        frags = fragment_packet(packet, 1500)
+        assert {f.ident for f in frags} == {packet.ident}
+
+    def test_dont_fragment_raises(self):
+        packet = make_packet(3000, dont_fragment=True)
+        with pytest.raises(FragmentationError):
+            fragment_packet(packet, 1500)
+
+    def test_tiny_mtu_raises(self):
+        with pytest.raises(FragmentationError):
+            fragment_packet(make_packet(100), IP_HEADER_SIZE + 4)
+
+    def test_refragmenting_fragment_raises(self):
+        frags = fragment_packet(make_packet(3000), 1500)
+        with pytest.raises(FragmentationError):
+            fragment_packet(frags[0], 576)
+
+
+class TestReassembly:
+    def reassemble(self, frags, sim=None):
+        sim = sim or Simulator()
+        reasm = Reassembler(sim)
+        result = None
+        for frag in frags:
+            out = reasm.push(frag)
+            if out is not None:
+                result = out
+        return result, reasm
+
+    def test_in_order_reassembly(self):
+        packet = make_packet(3000)
+        result, _ = self.reassemble(fragment_packet(packet, 1500))
+        assert result is not None
+        assert result.payload is packet.payload
+        assert result.ident == packet.ident
+
+    def test_out_of_order_reassembly(self):
+        packet = make_packet(3000)
+        frags = fragment_packet(packet, 1500)
+        result, _ = self.reassemble(list(reversed(frags)))
+        assert result is not None
+        assert result.payload is packet.payload
+
+    def test_incomplete_returns_none(self):
+        frags = fragment_packet(make_packet(3000), 1500)
+        result, reasm = self.reassemble(frags[:-1])
+        assert result is None
+        assert reasm.pending == 1
+
+    def test_interleaved_packets_keep_separate_state(self):
+        p1 = make_packet(3000)
+        p2 = make_packet(3000)
+        f1 = fragment_packet(p1, 1500)
+        f2 = fragment_packet(p2, 1500)
+        interleaved = [f1[0], f2[0], f1[1], f2[1], f1[2], f2[2]]
+        sim = Simulator()
+        reasm = Reassembler(sim)
+        results = [r for r in map(reasm.push, interleaved) if r is not None]
+        assert {r.ident for r in results} == {p1.ident, p2.ident}
+
+    def test_timeout_discards_partial_state(self):
+        sim = Simulator()
+        reasm = Reassembler(sim, timeout=5.0)
+        frags = fragment_packet(make_packet(3000), 1500)
+        reasm.push(frags[0])
+        sim.run(until=60.0)
+        assert reasm.pending == 0
+        assert reasm.timed_out == 1
+        # Late fragment starts fresh state and cannot complete alone.
+        assert reasm.push(frags[1]) is None
+
+    def test_duplicate_fragments_harmless(self):
+        packet = make_packet(3000)
+        frags = fragment_packet(packet, 1500)
+        result, _ = self.reassemble([frags[0], frags[0], frags[1], frags[1], frags[2]])
+        assert result is not None
+
+    @given(
+        payload=st.integers(min_value=1, max_value=20000),
+        mtu=st.integers(min_value=64, max_value=1500),
+    )
+    def test_fragment_reassemble_round_trip(self, payload, mtu):
+        packet = make_packet(payload)
+        frags = fragment_packet(packet, mtu)
+        total = sum(f.payload.wire_size for f in frags)
+        assert total == payload
+        if len(frags) == 1:
+            return
+        result, _ = self.reassemble(frags)
+        assert result is not None
+        assert result.payload is packet.payload

@@ -1,0 +1,164 @@
+"""Tests for ICMP and the ping/traceroute diagnostics."""
+
+import pytest
+
+from repro.apps.ping import Ping, Traceroute, icmp_stack_for
+from repro.netsim import Simulator, Topology, ZERO_COST
+from repro.netsim.icmp import IcmpStack, IcmpType, enable_icmp_errors
+
+
+@pytest.fixture()
+def chain():
+    """client - r1 - r2 - server, ICMP errors enabled on routers."""
+    sim = Simulator()
+    topo = Topology(sim)
+    client = topo.add_host("client", ZERO_COST)
+    r1 = topo.add_router("r1", ZERO_COST)
+    r2 = topo.add_router("r2", ZERO_COST)
+    server = topo.add_host("server", ZERO_COST)
+    topo.connect(client, r1, latency=0.001)
+    topo.connect(r1, r2, latency=0.002)
+    topo.connect(r2, server, latency=0.003)
+    topo.build_routes()
+    for router in (r1, r2):
+        enable_icmp_errors(router)
+    icmp_stack_for(server)  # server answers echo
+    return sim, topo, client, r1, r2, server
+
+
+class TestPing:
+    def test_all_replies(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        ping = Ping(client, server.ip, count=4, interval=0.1)
+        ping.start()
+        sim.run(until=30.0)
+        assert ping.stats.sent == 4
+        assert ping.stats.received == 4
+        assert ping.stats.loss_rate == 0.0
+
+    def test_rtt_measures_path(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        ping = Ping(client, server.ip, count=1)
+        ping.start()
+        sim.run(until=30.0)
+        # 2 * (1 + 2 + 3) ms of propagation.
+        assert ping.stats.avg_rtt == pytest.approx(0.012, abs=0.002)
+
+    def test_loss_counted(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        topo.find_link("r2", "server").a_to_b.loss_rate = 1.0
+        ping = Ping(client, server.ip, count=3, interval=0.1)
+        ping.start()
+        sim.run(until=30.0)
+        assert ping.stats.received == 0
+        assert ping.stats.loss_rate == 1.0
+
+    def test_on_done_callback(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        done = []
+        ping = Ping(client, server.ip, count=2, interval=0.1)
+        ping.on_done = done.append
+        ping.start()
+        sim.run(until=30.0)
+        assert len(done) == 1
+
+    def test_ping_virtual_host_address(self, chain):
+        """A virtual host answers pings on its service address —
+        transparency at the ICMP level too."""
+        sim, topo, client, r1, r2, server = chain
+        from repro.netsim import IPAddress
+
+        topo.add_external_network("192.20.225.20/32", server)
+        topo.build_routes()
+        server.kernel.virtual_addresses.add(IPAddress("192.20.225.20"))
+        ping = Ping(client, "192.20.225.20", count=1)
+        ping.start()
+        sim.run(until=30.0)
+        assert ping.stats.received == 1
+
+
+class TestTraceroute:
+    def test_discovers_path(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        hops = []
+        tr = Traceroute(client, server.ip)
+        tr.on_done = hops.extend
+        tr.start()
+        sim.run(until=60.0)
+        addresses = [str(h.address) for h in hops]
+        assert len(hops) == 3
+        assert addresses[0] == str(r1.interfaces[0].ip)
+        assert addresses[1] == str(r2.interfaces[0].ip)
+        assert addresses[2] == str(server.ip)
+
+    def test_silent_hop_shows_star(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        # r2 without ICMP errors: rebuild chain with errors only on r1.
+        sim2 = Simulator()
+        topo2 = Topology(sim2)
+        c = topo2.add_host("c", ZERO_COST)
+        ra = topo2.add_router("ra", ZERO_COST)
+        rb = topo2.add_router("rb", ZERO_COST)
+        s = topo2.add_host("s", ZERO_COST)
+        topo2.connect(c, ra)
+        topo2.connect(ra, rb)
+        topo2.connect(rb, s)
+        topo2.build_routes()
+        enable_icmp_errors(ra)  # rb stays silent
+        icmp_stack_for(s)
+        hops = []
+        tr = Traceroute(c, s.ip, probe_timeout=0.5)
+        tr.on_done = hops.extend
+        tr.start()
+        sim2.run(until=120.0)
+        assert hops[0].address is not None
+        assert hops[1].address is None  # the silent router
+        assert str(hops[2].address) == str(s.ip)
+
+
+class TestIcmpErrors:
+    def test_ttl_exceeded_reported(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        icmp = icmp_stack_for(client)
+        errors = []
+        icmp.on_error(lambda m, src: errors.append((m.type, str(src))))
+        icmp.send_echo_request(server.ip, icmp.new_ident(), 1, ttl=1)
+        sim.run(until=10.0)
+        assert errors
+        assert errors[0][0] == IcmpType.TTL_EXCEEDED
+
+    def test_unreachable_reported(self, chain):
+        sim, topo, client, r1, r2, server = chain
+        icmp = icmp_stack_for(client)
+        errors = []
+        icmp.on_error(lambda m, src: errors.append(m.type))
+        icmp.send_echo_request(
+            __import__("repro.netsim", fromlist=["IPAddress"]).IPAddress("172.16.9.9"),
+            icmp.new_ident(),
+            1,
+        )
+        sim.run(until=10.0)
+        assert IcmpType.DEST_UNREACHABLE in errors
+
+    def test_no_error_about_error(self, chain):
+        """An ICMP error that itself expires must not spawn another."""
+        sim, topo, client, r1, r2, server = chain
+        from repro.netsim import IPPacket, Protocol
+        from repro.netsim.icmp import IcmpMessage
+
+        # Craft an error packet with ttl=1 so it dies at r1.
+        error = IcmpMessage(IcmpType.TTL_EXCEEDED, about=(client.ip, server.ip, 6, 1))
+        client.kernel.send_ip(
+            IPPacket(
+                src=client.ip,
+                dst=server.ip,
+                protocol=Protocol.ICMP,
+                payload=error,
+                ttl=1,
+            )
+        )
+        icmp = icmp_stack_for(client)
+        errors = []
+        icmp.on_error(lambda m, src: errors.append(m.type))
+        sim.run(until=10.0)
+        assert errors == []

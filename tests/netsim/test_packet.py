@@ -1,0 +1,90 @@
+"""Tests for the packet model and wire-size accounting."""
+
+import pytest
+
+from repro.netsim import (
+    IP_HEADER_SIZE,
+    TCP_HEADER_SIZE,
+    UDP_HEADER_SIZE,
+    IPAddress,
+    IPPacket,
+    Protocol,
+    RawData,
+    TCPFlags,
+    TCPSegment,
+    UDPDatagram,
+)
+
+SRC = IPAddress("10.0.0.1")
+DST = IPAddress("10.0.0.2")
+
+
+def make_packet(payload, protocol=Protocol.TCP, **kw):
+    return IPPacket(src=SRC, dst=DST, protocol=protocol, payload=payload, **kw)
+
+
+class TestWireSizes:
+    def test_raw_data_size(self):
+        assert RawData(b"x" * 100).wire_size == 100
+
+    def test_udp_size_includes_header(self):
+        dgram = UDPDatagram(1000, 2000, b"x" * 64)
+        assert dgram.wire_size == UDP_HEADER_SIZE + 64
+
+    def test_udp_structured_payload_uses_wire_size_attr(self):
+        class Msg:
+            wire_size = 40
+
+        assert UDPDatagram(1, 2, Msg()).wire_size == UDP_HEADER_SIZE + 40
+
+    def test_udp_payload_without_wire_size_rejected(self):
+        with pytest.raises(TypeError):
+            UDPDatagram(1, 2, object()).wire_size
+
+    def test_tcp_size_includes_header(self):
+        seg = TCPSegment(1, 2, 0, 0, TCPFlags.ACK, 8192, b"y" * 10)
+        assert seg.wire_size == TCP_HEADER_SIZE + 10
+
+    def test_ip_size_includes_header(self):
+        packet = make_packet(RawData(b"z" * 50), protocol=Protocol.ICMP)
+        assert packet.wire_size == IP_HEADER_SIZE + 50
+
+
+class TestTCPSegment:
+    def test_flag_properties(self):
+        seg = TCPSegment(1, 2, 0, 0, TCPFlags.SYN | TCPFlags.ACK, 100)
+        assert seg.syn and seg.has_ack
+        assert not seg.fin and not seg.rst
+
+    def test_seq_span_counts_data(self):
+        seg = TCPSegment(1, 2, 0, 0, TCPFlags.ACK, 100, b"abcde")
+        assert seg.seq_span == 5
+
+    def test_seq_span_counts_syn_and_fin(self):
+        assert TCPSegment(1, 2, 0, 0, TCPFlags.SYN, 100).seq_span == 1
+        assert TCPSegment(1, 2, 0, 0, TCPFlags.FIN | TCPFlags.ACK, 100).seq_span == 1
+
+    def test_describe_mentions_flags(self):
+        seg = TCPSegment(5, 80, 7, 9, TCPFlags.SYN, 100)
+        text = seg.describe()
+        assert "SYN" in text and "5->80" in text
+
+
+class TestIPPacket:
+    def test_unique_idents(self):
+        a = make_packet(RawData(b""))
+        b = make_packet(RawData(b""))
+        assert a.ident != b.ident
+
+    def test_whole_packet_is_not_fragment(self):
+        assert not make_packet(RawData(b"abc")).is_fragment
+
+    def test_fragment_flags(self):
+        frag = make_packet(RawData(b"abc"), frag_offset=8)
+        assert frag.is_fragment
+        frag2 = make_packet(RawData(b"abc"), more_fragments=True)
+        assert frag2.is_fragment
+
+    def test_describe_includes_endpoints(self):
+        text = make_packet(RawData(b"abc")).describe()
+        assert "10.0.0.1" in text and "10.0.0.2" in text

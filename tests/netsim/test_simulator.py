@@ -1,0 +1,208 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim import SimulationError, Simulator, Timer
+
+
+def test_initial_time_is_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.5]
+    assert sim.now == 5.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(10.0, fired.append, 10)
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(1.0, lambda: seen.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    count = []
+
+    def tick():
+        count.append(1)
+        sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run(max_events=50)
+    assert len(count) == 50
+
+
+def test_run_until_idle_raises_on_runaway():
+    sim = Simulator()
+
+    def tick():
+        sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_rng_determinism():
+    values_a = Simulator(seed=7).rng.random()
+    values_b = Simulator(seed=7).rng.random()
+    assert values_a == values_b
+    assert Simulator(seed=8).rng.random() != values_a
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    h1.cancel()
+    assert sim.pending_events == 1
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+        assert not timer.running
+
+    def test_restart_replaces_previous(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        timer.start(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_expires_at(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert timer.expires_at is None
+        timer.start(2.5)
+        assert timer.expires_at == 2.5
+
+    def test_can_restart_from_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+
+        def periodic():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer._callback = periodic
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]

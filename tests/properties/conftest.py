@@ -1,0 +1,14 @@
+"""Hypothesis profiles: set HYPOTHESIS_PROFILE=stress for a deeper run."""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "stress",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])

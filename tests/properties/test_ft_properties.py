@@ -1,0 +1,117 @@
+"""Property-based tests of HydraNet-FT invariants under randomized
+conditions: crash times, loss rates, chain lengths.
+
+The invariants (DESIGN.md §6):
+
+* the client's byte stream is exact regardless of when the primary
+  crashes;
+* atomicity — the client is never ACKed a byte some live replica has
+  not deposited;
+* replica byte streams are identical prefixes of each other.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import DetectorParams
+from repro.experiments.testbeds import build_ft_system
+from repro.apps.echo import echo_server_factory
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+TOTAL = 60_000
+
+
+def run_transfer_with_crash(seed, crash_delay, n_backups=1, loss=0.0):
+    """Pump TOTAL bytes through an FT echo service; crash the primary
+    ``crash_delay`` seconds after traffic starts.  Returns (client-echo
+    bytes, per-replica deposited byte counts, client events)."""
+    system = build_ft_system(
+        seed=seed,
+        n_backups=n_backups,
+        detector=DetectorParams(threshold=3, cooldown=1.0),
+        factory=echo_server_factory,
+        port=7,
+    )
+    if loss:
+        system.topo.find_link("client", "redirector").set_loss_rate(loss)
+    conn = system.client_node.connect(system.service_ip, 7)
+    got = bytearray()
+    events = []
+    conn.on_data = got.extend
+    conn.on_closed = events.append
+    payload = bytes(i % 251 for i in range(TOTAL))
+    sent = {"n": 0}
+
+    def pump():
+        while sent["n"] < TOTAL:
+            n = conn.send(payload[sent["n"] : sent["n"] + 4096])
+            sent["n"] += n
+            if n == 0:
+                return
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    if crash_delay is not None:
+        system.sim.schedule(crash_delay, system.servers[0].crash)
+    system.run_until(400.0)
+    deposits = []
+    for handle in system.service.replicas:
+        states = list(handle.ft_port.states.values())
+        deposits.append(
+            states[0].conn.socket_buffer.total_deposited if states else 0
+        )
+    return bytes(got), payload, deposits, events, system
+
+
+class TestCrashTransparency:
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        crash_delay=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_echo_exact_across_random_crash_times(self, seed, crash_delay):
+        got, payload, deposits, events, system = run_transfer_with_crash(
+            seed, crash_delay
+        )
+        assert got == payload
+        assert events == []  # client never saw a connection event
+
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        crash_delay=st.floats(min_value=0.05, max_value=0.5),
+        n_backups=st.integers(min_value=1, max_value=3),
+    )
+    def test_echo_exact_any_chain_length(self, seed, crash_delay, n_backups):
+        got, payload, deposits, events, system = run_transfer_with_crash(
+            seed, crash_delay, n_backups=n_backups
+        )
+        assert got == payload
+        assert events == []
+
+
+class TestAtomicity:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_all_live_replicas_deposit_everything(self, seed):
+        got, payload, deposits, events, system = run_transfer_with_crash(
+            seed, crash_delay=None
+        )
+        assert got == payload
+        assert deposits == [TOTAL] * len(deposits)
+
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        loss=st.floats(min_value=0.0, max_value=0.1),
+    )
+    def test_exactness_under_client_path_loss(self, seed, loss):
+        got, payload, deposits, events, system = run_transfer_with_crash(
+            seed, crash_delay=None, loss=loss
+        )
+        assert got == payload

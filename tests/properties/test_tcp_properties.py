@@ -1,0 +1,136 @@
+"""Property-based tests of TCP end-to-end invariants.
+
+Each hypothesis example runs a full simulation, so example counts are
+kept modest; the properties cover the core guarantees: in-order
+reliable delivery of the exact byte stream under arbitrary write
+patterns, loss, and delay, and deterministic replay.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.netsim import Simulator, Topology, ZERO_COST
+from repro.tcp import TcpOptions, TcpStack
+
+FAST = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build_net(seed, loss=0.0, latency=0.001, options=None):
+    sim = Simulator(seed=seed)
+    topo = Topology(sim)
+    a = topo.add_host("a", ZERO_COST)
+    b = topo.add_host("b", ZERO_COST)
+    link = topo.connect(a, b, latency=latency, loss_rate=loss, queue_capacity=256)
+    topo.build_routes()
+    return sim, TcpStack(a, options), TcpStack(b, options), b, link
+
+
+def transfer(sim, client_stack, server_stack, server_host, writes, until=600.0):
+    received = bytearray()
+    listener = server_stack.listen(7)
+
+    def accept(conn):
+        conn.on_data = received.extend
+        conn.on_remote_close = conn.close
+
+    listener.on_accept = accept
+    conn = client_stack.connect(server_host.ip, 7)
+    queue = list(writes)
+    backlog = bytearray()
+
+    def pump():
+        while True:
+            if backlog:
+                sent = conn.send(bytes(backlog))
+                del backlog[:sent]
+                if backlog:
+                    return
+            if not queue:
+                conn.close()
+                return
+            backlog.extend(queue.pop(0))
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    sim.run(until=until)
+    return bytes(received)
+
+
+writes_strategy = st.lists(
+    st.binary(min_size=1, max_size=4000), min_size=1, max_size=12
+)
+
+
+class TestDelivery:
+    @FAST
+    @given(writes=writes_strategy, seed=st.integers(min_value=0, max_value=1000))
+    def test_lossless_byte_stream_exact(self, writes, seed):
+        sim, cs, ss, server, _ = build_net(seed)
+        received = transfer(sim, cs, ss, server, writes)
+        assert received == b"".join(writes)
+
+    @FAST
+    @given(
+        writes=writes_strategy,
+        seed=st.integers(min_value=0, max_value=1000),
+        loss=st.floats(min_value=0.0, max_value=0.2),
+    )
+    def test_lossy_byte_stream_exact(self, writes, seed, loss):
+        sim, cs, ss, server, _ = build_net(seed, loss=loss)
+        received = transfer(sim, cs, ss, server, writes)
+        assert received == b"".join(writes)
+
+    @FAST
+    @given(
+        writes=writes_strategy,
+        mss=st.integers(min_value=100, max_value=1460),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_any_mss_byte_stream_exact(self, writes, mss, seed):
+        options = TcpOptions(mss=mss)
+        sim, cs, ss, server, _ = build_net(seed, options=options)
+        received = transfer(sim, cs, ss, server, writes)
+        assert received == b"".join(writes)
+
+    @FAST
+    @given(
+        writes=writes_strategy,
+        recv_buf=st.integers(min_value=1000, max_value=65535),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_any_receive_buffer_byte_stream_exact(self, writes, recv_buf, seed):
+        options = TcpOptions(recv_buffer_size=recv_buf)
+        sim, cs, ss, server, _ = build_net(seed, options=options)
+        received = transfer(sim, cs, ss, server, writes)
+        assert received == b"".join(writes)
+
+
+class TestDeterminism:
+    @FAST
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_replay_identical(self, seed):
+        def run():
+            sim, cs, ss, server, _ = build_net(seed, loss=0.05)
+            received = transfer(sim, cs, ss, server, [b"x" * 5000])
+            return received, sim.now, sim.events_processed
+
+        assert run() == run()
+
+
+class TestNoSpuriousRetransmissions:
+    @FAST
+    @given(
+        writes=st.lists(st.binary(min_size=1, max_size=2000), min_size=1, max_size=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_lossless_transfer_never_retransmits(self, writes, seed):
+        sim, cs, ss, server, _ = build_net(seed)
+        listener_received = transfer(sim, cs, ss, server, writes)
+        assert listener_received == b"".join(writes)
+        for conn_table in (cs.connections, ss.connections):
+            for conn in conn_table.values():
+                assert conn.retransmitted_segments == 0

@@ -1,0 +1,75 @@
+"""Tests for the per-host sockets facade."""
+
+import pytest
+
+from repro.netsim import Simulator, Topology, ZERO_COST
+from repro.sockets import Node, node_for
+from repro.tcp import TcpOptions
+
+
+@pytest.fixture()
+def pair():
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a", ZERO_COST)
+    b = topo.add_host("b", ZERO_COST)
+    topo.connect(a, b)
+    topo.build_routes()
+    return sim, a, b
+
+
+def test_node_bundles_stacks(pair):
+    sim, a, b = pair
+    node = Node(a)
+    assert node.udp is not None
+    assert node.tcp is not None
+    assert node.name == "a"
+    assert node.ip == a.ip
+
+
+def test_node_for_idempotent(pair):
+    sim, a, b = pair
+    n1 = node_for(a)
+    n2 = node_for(a)
+    assert n1 is n2
+
+
+def test_tcp_through_facade(pair):
+    sim, a, b = pair
+    server = node_for(b)
+    received = bytearray()
+    listener = server.listen(80)
+    listener.on_accept = lambda conn: setattr(conn, "on_data", received.extend)
+    client = node_for(a)
+    conn = client.connect(b.ip, 80)
+    conn.on_established = lambda: conn.send(b"facade")
+    sim.run(until=10.0)
+    assert bytes(received) == b"facade"
+
+
+def test_udp_through_facade(pair):
+    sim, a, b = pair
+    server_sock = node_for(b).udp_socket()
+    server_sock.bind(53)
+    client_sock = node_for(a).udp_socket()
+    client_sock.send_to(b.ip, 53, b"query")
+    sim.run()
+    data, *_ = server_sock.recv()
+    assert data == b"query"
+
+
+def test_per_connection_options_override(pair):
+    sim, a, b = pair
+    server = node_for(b)
+    listener = server.listen(80)
+    listener.on_accept = lambda conn: None
+    small = TcpOptions(mss=256)
+    conn = node_for(a).connect(b.ip, 80, options=small)
+    sim.run(until=5.0)
+    assert conn.mss == 256
+
+
+def test_node_default_options_apply(pair):
+    sim, a, b = pair
+    node = Node(a, TcpOptions(nagle=False))
+    assert node.tcp.options.nagle is False

@@ -1,0 +1,70 @@
+"""Shared fixtures for end-to-end TCP tests."""
+
+import pytest
+
+from repro.netsim import Simulator, Topology, ZERO_COST
+from repro.tcp import TcpOptions, TcpStack
+
+
+class Net:
+    """client -- router -- server with TCP stacks, zero CPU cost."""
+
+    def __init__(self, seed=0, options=None, **link_kw):
+        self.sim = Simulator(seed=seed)
+        self.topo = Topology(self.sim)
+        self.client_host = self.topo.add_host("client", ZERO_COST)
+        self.router = self.topo.add_router("router", ZERO_COST)
+        self.server_host = self.topo.add_host("server", ZERO_COST)
+        link_defaults = dict(bandwidth_bps=10_000_000, latency=0.001)
+        link_defaults.update(link_kw)
+        self.client_link = self.topo.connect(self.client_host, self.router, **link_defaults)
+        self.server_link = self.topo.connect(self.router, self.server_host, **link_defaults)
+        self.topo.build_routes()
+        opts = options or TcpOptions()
+        self.client_tcp = TcpStack(self.client_host, opts)
+        self.server_tcp = TcpStack(self.server_host, opts)
+
+    def run(self, until=None):
+        self.sim.run(until=until)
+        return self.sim.now
+
+
+@pytest.fixture()
+def net():
+    return Net()
+
+
+def start_echo_server(net, port=7, close_after=None):
+    """Echo server; returns list of accepted connections."""
+    accepted = []
+    listener = net.server_tcp.listen(port)
+
+    def on_accept(conn):
+        accepted.append(conn)
+        received = bytearray()
+
+        def on_data(data):
+            received.extend(data)
+            conn.send(data)
+            if close_after is not None and len(received) >= close_after:
+                conn.close()
+
+        conn.on_data = on_data
+        conn.on_remote_close = conn.close
+
+    listener.on_accept = on_accept
+    return accepted
+
+
+def start_sink_server(net, port=7):
+    """Server that collects everything it receives."""
+    state = {"data": bytearray(), "conns": [], "closed": []}
+    listener = net.server_tcp.listen(port)
+
+    def on_accept(conn):
+        state["conns"].append(conn)
+        conn.on_data = state["data"].extend
+        conn.on_remote_close = lambda: (state["closed"].append(conn), conn.close())
+
+    listener.on_accept = on_accept
+    return state

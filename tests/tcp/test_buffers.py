@@ -1,0 +1,171 @@
+"""Tests for TCP send/receive buffers, including a property-based
+comparison of the reassembler against a naive reference model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp import Reassembler, SendBuffer, SocketBuffer
+from repro.tcp.buffers import BufferError
+
+
+class TestSendBuffer:
+    def test_append_and_read(self):
+        buf = SendBuffer(100)
+        assert buf.append(b"hello world") == 11
+        assert buf.read(0, 5) == b"hello"
+        assert buf.read(6, 100) == b"world"
+
+    def test_capacity_limits_append(self):
+        buf = SendBuffer(10)
+        assert buf.append(b"x" * 20) == 10
+        assert buf.append(b"y") == 0
+        assert buf.free_space == 0
+
+    def test_ack_frees_space(self):
+        buf = SendBuffer(10)
+        buf.append(b"0123456789")
+        buf.ack_to(4)
+        assert buf.free_space == 4
+        assert buf.append(b"abcd") == 4
+        assert buf.read(10, 4) == b"abcd"
+
+    def test_read_below_base_raises(self):
+        buf = SendBuffer(10)
+        buf.append(b"0123456789")
+        buf.ack_to(5)
+        with pytest.raises(BufferError):
+            buf.read(3, 2)
+
+    def test_ack_beyond_end_raises(self):
+        buf = SendBuffer(10)
+        buf.append(b"abc")
+        with pytest.raises(BufferError):
+            buf.ack_to(4)
+
+    def test_ack_is_monotonic(self):
+        buf = SendBuffer(10)
+        buf.append(b"0123456789")
+        buf.ack_to(5)
+        buf.ack_to(3)  # regression is a no-op
+        assert buf.base == 5
+
+    def test_read_spans_chunks_when_coalescing(self):
+        buf = SendBuffer(100)
+        buf.append(b"aaa")
+        buf.append(b"bbb")
+        assert buf.read(0, 6) == b"aaabbb"
+
+    def test_boundary_preservation(self):
+        buf = SendBuffer(100, preserve_boundaries=True)
+        buf.append(b"aaa")
+        buf.append(b"bbb")
+        assert buf.read(0, 6) == b"aaa"
+        assert buf.read(3, 6) == b"bbb"
+        assert buf.read(1, 6) == b"aa"
+
+    def test_read_past_end_empty(self):
+        buf = SendBuffer(100)
+        buf.append(b"abc")
+        assert buf.read(3, 10) == b""
+
+
+class TestReassembler:
+    def test_in_order(self):
+        r = Reassembler()
+        r.add(0, b"abc")
+        r.add(3, b"def")
+        assert r.take() == b"abcdef"
+        assert r.take_point == 6
+
+    def test_out_of_order_held(self):
+        r = Reassembler()
+        r.add(3, b"def")
+        assert r.staged_bytes == 0
+        assert r.out_of_order_bytes == 3
+        r.add(0, b"abc")
+        assert r.take() == b"abcdef"
+
+    def test_duplicate_ignored(self):
+        r = Reassembler()
+        r.add(0, b"abc")
+        gained = r.add(0, b"abc")
+        assert gained == 0
+        assert r.duplicate_bytes == 3
+        assert r.take() == b"abc"
+
+    def test_partial_overlap_with_delivered(self):
+        r = Reassembler()
+        r.add(0, b"abcd")
+        r.add(2, b"cdef")
+        assert r.take() == b"abcdef"
+
+    def test_overlap_between_pending_fragments(self):
+        r = Reassembler()
+        r.add(4, b"efgh")
+        r.add(2, b"cdef")
+        r.add(0, b"ab")
+        assert r.take() == b"abcdefgh"
+
+    def test_take_limited(self):
+        r = Reassembler()
+        r.add(0, b"abcdef")
+        assert r.take(2) == b"ab"
+        assert r.take_point == 2
+        assert r.staged_bytes == 4
+        assert r.take(100) == b"cdef"
+
+    def test_empty_add_is_noop(self):
+        r = Reassembler()
+        assert r.add(0, b"") == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=60),
+                st.integers(min_value=1, max_value=20),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_matches_reference_model(self, segments):
+        """Feeding arbitrary overlapping slices of a known stream always
+        yields a prefix of that stream, never corrupted bytes."""
+        stream = bytes(range(100))
+        r = Reassembler()
+        for offset, length in segments:
+            r.add(offset, stream[offset : offset + length])
+        covered = sorted((off, off + ln) for off, ln in segments)
+        expected_end = 0
+        for start, end in covered:
+            if start <= expected_end:
+                expected_end = max(expected_end, end)
+        expected_end = min(expected_end, 100)
+        assert r.in_order_end == expected_end
+        assert r.take() == stream[:expected_end]
+
+
+class TestSocketBuffer:
+    def test_deposit_read(self):
+        buf = SocketBuffer()
+        buf.deposit(b"abc")
+        buf.deposit(b"def")
+        assert buf.size == 6
+        assert buf.read(4) == b"abcd"
+        assert buf.read() == b"ef"
+        assert buf.size == 0
+
+    def test_totals(self):
+        buf = SocketBuffer()
+        buf.deposit(b"abcdef")
+        buf.read(2)
+        assert buf.total_deposited == 6
+        assert buf.total_read == 2
+
+    def test_empty_read(self):
+        assert SocketBuffer().read() == b""
+
+    def test_empty_deposit_noop(self):
+        buf = SocketBuffer()
+        buf.deposit(b"")
+        assert buf.size == 0

@@ -1,0 +1,107 @@
+"""Tests for Reno congestion control."""
+
+from repro.tcp import CongestionControl, TcpOptions
+
+MSS = 1000
+
+
+def make(**kw):
+    options = TcpOptions(**kw)
+    return CongestionControl(options, MSS)
+
+
+def test_initial_window():
+    cc = make(initial_cwnd_segments=2)
+    assert cc.cwnd == 2 * MSS
+    assert cc.in_slow_start
+
+
+def test_slow_start_grows_per_ack():
+    cc = make()
+    before = cc.cwnd
+    cc.on_ack(MSS, 10 * MSS)
+    assert cc.cwnd == before + MSS
+
+
+def test_slow_start_growth_capped_at_mss_per_ack():
+    cc = make()
+    before = cc.cwnd
+    cc.on_ack(5 * MSS, 10 * MSS)
+    assert cc.cwnd == before + MSS
+
+
+def test_congestion_avoidance_linear():
+    cc = make()
+    cc.ssthresh = cc.cwnd  # force CA
+    before = cc.cwnd
+    cc.on_ack(MSS, 10 * MSS)
+    assert before < cc.cwnd <= before + MSS * MSS // before + 1
+
+
+def test_timeout_collapses_window():
+    cc = make()
+    cc.cwnd = 16 * MSS
+    cc.on_timeout(flight_size=16 * MSS)
+    assert cc.cwnd == MSS
+    assert cc.ssthresh == 8 * MSS
+    assert cc.timeouts == 1
+
+
+def test_ssthresh_floor_two_mss():
+    cc = make()
+    cc.on_timeout(flight_size=1000)
+    assert cc.ssthresh == 2 * MSS
+
+
+def test_dupacks_halve_and_enter_recovery():
+    cc = make(dupack_threshold=3)
+    cc.cwnd = 16 * MSS
+    should_retransmit = cc.on_dupacks(flight_size=16 * MSS, snd_nxt_offset=100)
+    assert should_retransmit
+    assert cc.in_fast_recovery
+    assert cc.ssthresh == 8 * MSS
+    assert cc.cwnd == 8 * MSS + 3 * MSS
+    assert cc.fast_retransmits == 1
+
+
+def test_second_dupack_burst_in_recovery_inflates_only():
+    cc = make()
+    cc.cwnd = 16 * MSS
+    cc.on_dupacks(16 * MSS, 100)
+    window = cc.cwnd
+    assert not cc.on_dupacks(16 * MSS, 100)
+    assert cc.cwnd == window + MSS
+
+
+def test_full_ack_exits_recovery_and_deflates():
+    cc = make()
+    cc.cwnd = 16 * MSS
+    cc.on_dupacks(16 * MSS, snd_nxt_offset=100)
+    assert not cc.ack_covers_recovery(50)
+    assert cc.ack_covers_recovery(100)
+    cc.on_full_ack_in_recovery()
+    assert not cc.in_fast_recovery
+    assert cc.cwnd == cc.ssthresh
+
+
+def test_no_growth_during_recovery():
+    cc = make()
+    cc.cwnd = 16 * MSS
+    cc.on_dupacks(16 * MSS, 100)
+    window = cc.cwnd
+    cc.on_ack(MSS, 10 * MSS)
+    assert cc.cwnd == window
+
+
+def test_effective_window_is_min_of_cwnd_and_peer():
+    cc = make()
+    cc.cwnd = 5000
+    assert cc.window(peer_window=3000) == 3000
+    assert cc.window(peer_window=9000) == 5000
+
+
+def test_zero_ack_ignored():
+    cc = make()
+    before = cc.cwnd
+    cc.on_ack(0, 100)
+    assert cc.cwnd == before

@@ -1,0 +1,195 @@
+"""End-to-end TCP: handshake, data transfer, close."""
+
+import pytest
+
+from repro.tcp import TcpError, TcpOptions, TcpState
+
+from .conftest import Net, start_echo_server, start_sink_server
+
+
+def test_three_way_handshake(net):
+    start_sink_server(net)
+    events = []
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_established = lambda: events.append(("established", net.sim.now))
+    net.run()
+    assert conn.state == TcpState.ESTABLISHED
+    assert events and events[0][0] == "established"
+    # SYN + SYN-ACK = 2 one-way latencies through 2 links each (~4ms).
+    assert events[0][1] == pytest.approx(0.004, abs=0.002)
+
+
+def test_server_reaches_established(net):
+    state = start_sink_server(net)
+    net.client_tcp.connect(net.server_host.ip, 7)
+    net.run()
+    assert len(state["conns"]) == 1
+    assert state["conns"][0].state == TcpState.ESTABLISHED
+
+
+def test_small_data_transfer(net):
+    state = start_sink_server(net)
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_established = lambda: conn.send(b"hello, world")
+    net.run()
+    assert bytes(state["data"]) == b"hello, world"
+
+
+def test_send_before_established_is_queued(net):
+    state = start_sink_server(net)
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.send(b"early data")
+    net.run()
+    assert bytes(state["data"]) == b"early data"
+
+
+def test_bulk_transfer_integrity(net):
+    """Multi-segment transfer arrives complete and in order."""
+    state = start_sink_server(net)
+    payload = bytes(i % 251 for i in range(100_000))
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+
+    sent = {"n": 0}
+
+    def pump():
+        while sent["n"] < len(payload):
+            accepted = conn.send(payload[sent["n"] : sent["n"] + 8192])
+            sent["n"] += accepted
+            if accepted == 0:
+                break
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    net.run()
+    assert bytes(state["data"]) == payload
+
+
+def test_echo_round_trip(net):
+    start_echo_server(net)
+    got = bytearray()
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_data = got.extend
+    conn.on_established = lambda: conn.send(b"ping-pong payload")
+    net.run()
+    assert bytes(got) == b"ping-pong payload"
+
+
+def test_graceful_close_four_way(net):
+    state = start_sink_server(net)
+    closed = []
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_established = lambda: (conn.send(b"bye"), conn.close())
+    conn.on_closed = closed.append
+    net.run()
+    assert bytes(state["data"]) == b"bye"
+    # Client went through FIN_WAIT/TIME_WAIT and fully closed.
+    assert closed == ["closed"]
+    assert conn.state == TcpState.CLOSED
+    # Server side also fully closed and removed from the table.
+    assert not net.server_tcp.connections
+    assert not net.client_tcp.connections
+
+
+def test_data_after_close_rejected(net):
+    start_sink_server(net)
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.close()
+    with pytest.raises(TcpError):
+        conn.send(b"too late")
+
+
+def test_server_initiated_close(net):
+    start_echo_server(net, close_after=4)
+    remote_closed = []
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_remote_close = lambda: (remote_closed.append(True), conn.close())
+    conn.on_established = lambda: conn.send(b"data")
+    net.run()
+    assert remote_closed == [True]
+    assert conn.state == TcpState.CLOSED
+
+
+def test_connect_to_closed_port_refused(net):
+    reasons = []
+    conn = net.client_tcp.connect(net.server_host.ip, 9)
+    conn.on_closed = reasons.append
+    net.run()
+    assert reasons == ["refused"]
+
+
+def test_abort_sends_rst(net):
+    state = start_sink_server(net)
+    server_closed = []
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+
+    def established():
+        state["conns"][0].on_closed = server_closed.append
+        conn.abort()
+
+    net.sim.schedule(0.1, established)
+    net.run()
+    assert server_closed == ["reset"]
+
+
+def test_recv_pull_model(net):
+    """Without on_data, bytes accumulate for recv()."""
+    state = start_sink_server(net)
+    server_conn = []
+    listener = net.server_tcp.listeners[(None, 7)]
+    original = listener.on_accept
+
+    def capture(conn):
+        conn.on_data = None  # force pull model
+        server_conn.append(conn)
+
+    listener.on_accept = capture
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_established = lambda: conn.send(b"pull me")
+    net.run()
+    assert server_conn[0].readable_bytes == 7
+    assert server_conn[0].recv(4) == b"pull"
+    assert server_conn[0].recv() == b" me"
+
+
+def test_bidirectional_transfer(net):
+    state = start_sink_server(net)
+    listener = net.server_tcp.listeners[(None, 7)]
+    base_accept = listener.on_accept
+
+    def accept(conn):
+        base_accept(conn)
+        conn.send(b"server speaks first")
+
+    listener.on_accept = accept
+    got = bytearray()
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_data = got.extend
+    conn.on_established = lambda: conn.send(b"client too")
+    net.run()
+    assert bytes(got) == b"server speaks first"
+    assert bytes(state["data"]) == b"client too"
+
+
+def test_two_simultaneous_connections(net):
+    state = start_sink_server(net)
+    c1 = net.client_tcp.connect(net.server_host.ip, 7)
+    c2 = net.client_tcp.connect(net.server_host.ip, 7)
+    c1.on_established = lambda: c1.send(b"one")
+    c2.on_established = lambda: c2.send(b"two")
+    net.run()
+    assert len(state["conns"]) == 2
+    assert sorted(bytes(state["data"])) == sorted(b"onetwo")
+
+
+def test_deterministic_timing():
+    t1 = []
+    t2 = []
+    for times in (t1, t2):
+        net = Net(seed=5)
+        start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        conn.on_established = lambda: conn.send(b"x" * 5000)
+        net.run()
+        times.append(net.sim.now)
+        times.append(net.sim.events_processed)
+    assert t1 == t2

@@ -1,0 +1,218 @@
+"""TCP flow control: windows, persist probes, Nagle, delayed ACKs,
+segment-per-write mode, and MSS handling."""
+
+import pytest
+
+from repro.netsim.packet import TCPSegment
+from repro.tcp import TcpOptions, TcpState
+
+from .conftest import Net, start_sink_server
+
+
+def collect_client_segments(net):
+    """Tap the client->router channel to record data segments."""
+    segments = []
+    original = net.client_link.a_to_b.transmit
+
+    def tap(packet):
+        if isinstance(packet.payload, TCPSegment):
+            segments.append(packet.payload)
+        original(packet)
+
+    net.client_link.a_to_b.transmit = tap
+    return segments
+
+
+class TestWindow:
+    def test_receiver_window_limits_flight(self):
+        options = TcpOptions(recv_buffer_size=4000)
+        net = Net(options=options)
+        # Server that never reads: window closes.
+        listener = net.server_tcp.listen(7)
+        conns = []
+
+        def accept(conn):
+            conn.on_data = None  # never read
+            conns.append(conn)
+
+        listener.on_accept = accept
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        conn.on_established = lambda: conn.send(b"z" * 20000)
+        net.run(until=5.0)
+        # No more than the receive buffer can be outstanding/deposited.
+        assert conns[0].socket_buffer.size <= 4000
+        assert conn.snd_una <= 4000
+
+    def test_window_reopens_when_app_reads(self):
+        options = TcpOptions(recv_buffer_size=4000)
+        net = Net(options=options)
+        listener = net.server_tcp.listen(7)
+        conns = []
+        listener.on_accept = lambda c: (conns.append(c), setattr(c, "on_data", None))
+        payload = b"w" * 12000
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        sent = {"n": 0}
+
+        def pump():
+            while sent["n"] < len(payload):
+                a = conn.send(payload[sent["n"] : sent["n"] + 4096])
+                sent["n"] += a
+                if a == 0:
+                    break
+
+        conn.on_established = pump
+        conn.on_send_space = pump
+
+        drained = bytearray()
+
+        def drain():
+            if conns:
+                drained.extend(conns[0].recv())
+            if len(drained) < len(payload):
+                net.sim.schedule(0.05, drain)
+
+        net.sim.schedule(0.1, drain)
+        net.run(until=120.0)
+        assert bytes(drained) == payload
+
+    def test_zero_window_probe_resumes_transfer(self):
+        options = TcpOptions(recv_buffer_size=2000, persist_min=0.2)
+        net = Net(options=options)
+        listener = net.server_tcp.listen(7)
+        conns = []
+        listener.on_accept = lambda c: (conns.append(c), setattr(c, "on_data", None))
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        conn.on_established = lambda: conn.send(b"p" * 6000)
+        # Let the window fill and close, then drain everything at t=3.
+        drained = bytearray()
+
+        def drain():
+            drained.extend(conns[0].recv())
+            if conns[0].socket_buffer.total_deposited < 6000 or conns[0].readable_bytes:
+                net.sim.schedule(0.2, drain)
+
+        net.sim.schedule(3.0, drain)
+        net.run(until=60.0)
+        assert conns[0].socket_buffer.total_deposited == 6000
+
+
+class TestNagle:
+    def test_nagle_coalesces_small_writes(self):
+        options = TcpOptions(nagle=True)
+        net = Net(options=options)
+        start_sink_server(net)
+        segments = collect_client_segments(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+
+        def dribble():
+            for _ in range(20):
+                conn.send(b"ab")
+
+        conn.on_established = dribble
+        net.run(until=10.0)
+        data_segs = [s for s in segments if s.data]
+        # First tiny segment goes out alone; the rest coalesce into few
+        # larger segments rather than 20 tinygrams.
+        assert len(data_segs) < 10
+
+    def test_nodelay_sends_each_write(self):
+        options = TcpOptions(nagle=False, segment_per_write=True, delayed_ack=False)
+        net = Net(options=options)
+        start_sink_server(net)
+        segments = collect_client_segments(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+
+        def dribble():
+            for _ in range(20):
+                conn.send(b"ab")
+
+        conn.on_established = dribble
+        net.run(until=10.0)
+        data_segs = [s for s in segments if s.data]
+        assert len(data_segs) == 20
+        assert all(len(s.data) == 2 for s in data_segs)
+
+
+class TestSegmentation:
+    def test_segments_respect_mss(self):
+        net = Net()
+        start_sink_server(net)
+        segments = collect_client_segments(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        conn.on_established = lambda: conn.send(b"m" * 10000)
+        net.run(until=10.0)
+        assert conn.mss == 1460
+        assert all(len(s.data) <= 1460 for s in segments)
+
+    def test_explicit_mss_override(self):
+        options = TcpOptions(mss=512)
+        net = Net(options=options)
+        start_sink_server(net)
+        segments = collect_client_segments(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        conn.on_established = lambda: conn.send(b"m" * 5000)
+        net.run(until=10.0)
+        data_segs = [s for s in segments if s.data]
+        assert all(len(s.data) <= 512 for s in data_segs)
+        assert max(len(s.data) for s in data_segs) == 512
+
+    def test_segment_per_write_preserves_boundaries(self):
+        options = TcpOptions(segment_per_write=True, nagle=False)
+        net = Net(options=options)
+        start_sink_server(net)
+        segments = collect_client_segments(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+
+        def writes():
+            conn.send(b"x" * 100)
+            conn.send(b"y" * 300)
+            conn.send(b"z" * 50)
+
+        conn.on_established = writes
+        net.run(until=10.0)
+        sizes = [len(s.data) for s in segments if s.data]
+        assert sizes == [100, 300, 50]
+
+
+class TestDelayedAck:
+    def count_pure_acks(self, net):
+        acks = []
+        original = net.server_link.b_to_a.transmit
+
+        def tap(packet):
+            if isinstance(packet.payload, TCPSegment) and not packet.payload.data:
+                acks.append(packet.payload)
+            original(packet)
+
+        net.server_link.b_to_a.transmit = tap
+        return acks
+
+    def test_delayed_ack_halves_ack_count(self):
+        options = TcpOptions(delayed_ack=True)
+        net = Net(options=options)
+        start_sink_server(net)
+        acks = self.count_pure_acks(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        conn.on_established = lambda: conn.send(b"k" * 14600)  # 10 segments
+        net.run(until=10.0)
+        n_delayed = len(acks)
+
+        options2 = TcpOptions(delayed_ack=False)
+        net2 = Net(options=options2)
+        start_sink_server(net2)
+        acks2 = self.count_pure_acks(net2)
+        conn2 = net2.client_tcp.connect(net2.server_host.ip, 7, options=options2)
+        conn2.on_established = lambda: conn2.send(b"k" * 14600)
+        net2.run(until=10.0)
+        assert n_delayed < len(acks2)
+
+    def test_lone_segment_acked_within_timeout(self):
+        options = TcpOptions(delayed_ack=True, delayed_ack_timeout=0.2)
+        net = Net(options=options)
+        start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        conn.on_established = lambda: conn.send(b"only one")
+        net.run(until=10.0)
+        # No retransmission was needed: the delayed ACK arrived in time.
+        assert conn.retransmitted_segments == 0
+        assert conn.snd_una == 8

@@ -1,0 +1,199 @@
+"""Selective acknowledgements (RFC 2018): scoreboard unit tests plus
+end-to-end loss-recovery behaviour with and without SACK."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.packet import TCPSegment
+from repro.tcp import TcpOptions
+from repro.tcp.sack import SackScoreboard
+
+from .conftest import Net, start_sink_server
+
+
+class TestScoreboard:
+    def test_record_and_query(self):
+        sb = SackScoreboard()
+        sb.record(100, 200)
+        assert sb.is_sacked(100)
+        assert sb.is_sacked(199)
+        assert not sb.is_sacked(200)
+        assert not sb.is_sacked(99)
+
+    def test_merge_overlapping(self):
+        sb = SackScoreboard()
+        sb.record(100, 200)
+        sb.record(150, 300)
+        assert sb.ranges == [(100, 300)]
+
+    def test_merge_adjacent(self):
+        sb = SackScoreboard()
+        sb.record(100, 200)
+        sb.record(200, 300)
+        assert sb.ranges == [(100, 300)]
+
+    def test_disjoint_kept_sorted(self):
+        sb = SackScoreboard()
+        sb.record(300, 400)
+        sb.record(100, 200)
+        assert sb.ranges == [(100, 200), (300, 400)]
+
+    def test_advance_drops_below_cumulative(self):
+        sb = SackScoreboard()
+        sb.record(100, 200)
+        sb.record(300, 400)
+        sb.advance(150)
+        assert sb.ranges == [(150, 200), (300, 400)]
+        sb.advance(250)
+        assert sb.ranges == [(300, 400)]
+
+    def test_clear(self):
+        sb = SackScoreboard()
+        sb.record(1, 2)
+        sb.clear()
+        assert sb.ranges == []
+
+    def test_first_hole_before_ranges(self):
+        sb = SackScoreboard()
+        sb.record(100, 200)
+        assert sb.first_hole(0, 500) == (0, 100)
+
+    def test_first_hole_between_ranges(self):
+        sb = SackScoreboard()
+        sb.record(0, 100)
+        sb.record(200, 300)
+        assert sb.first_hole(0, 500) == (100, 200)
+
+    def test_first_hole_after_all_ranges(self):
+        sb = SackScoreboard()
+        sb.record(0, 100)
+        assert sb.first_hole(0, 500) == (100, 500)
+
+    def test_no_hole_when_fully_sacked(self):
+        sb = SackScoreboard()
+        sb.record(0, 500)
+        assert sb.first_hole(0, 500) is None
+
+    def test_empty_block_ignored(self):
+        sb = SackScoreboard()
+        sb.record(100, 100)
+        assert sb.ranges == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=900),
+                st.integers(min_value=1, max_value=100),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_ranges_always_sorted_and_disjoint(self, blocks):
+        sb = SackScoreboard()
+        covered = set()
+        for start, length in blocks:
+            sb.record(start, start + length)
+            covered.update(range(start, start + length))
+        ranges = sb.ranges
+        assert ranges == sorted(ranges)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(ranges, ranges[1:]):
+            assert a_hi < b_lo  # strictly disjoint, non-adjacent
+        reported = set()
+        for lo, hi in ranges:
+            reported.update(range(lo, hi))
+        assert reported == covered
+
+
+def drop_segments(net, offsets_to_drop):
+    """Drop the Nth data segments (by count) on the client->router hop."""
+    counter = {"n": 0}
+    original = net.client_link.a_to_b.transmit
+
+    def filtered(packet):
+        if isinstance(packet.payload, TCPSegment) and packet.payload.data:
+            counter["n"] += 1
+            if counter["n"] in offsets_to_drop:
+                return
+        original(packet)
+
+    net.client_link.a_to_b.transmit = filtered
+
+
+def run_transfer(options, drops, total=60_000, seed=0):
+    net = Net(seed=seed, options=options)
+    state = start_sink_server(net)
+    drop_segments(net, drops)
+    payload = bytes(i % 256 for i in range(total))
+    conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+    sent = {"n": 0}
+
+    def pump():
+        while sent["n"] < total:
+            n = conn.send(payload[sent["n"] : sent["n"] + 8192])
+            sent["n"] += n
+            if n == 0:
+                break
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    net.run(until=120.0)
+    assert bytes(state["data"]) == payload
+    return conn, net
+
+
+class TestSackEndToEnd:
+    def test_negotiated_on_syn(self):
+        options = TcpOptions(sack=True)
+        net = Net(options=options)
+        state = start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        net.run(until=5.0)
+        assert conn.sack_enabled
+        assert state["conns"][0].sack_enabled
+
+    def test_not_enabled_unilaterally(self):
+        client_options = TcpOptions(sack=True)
+        server_options = TcpOptions(sack=False)
+        net = Net(options=server_options)
+        start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=client_options)
+        net.run(until=5.0)
+        assert not conn.sack_enabled
+
+    def test_multiple_losses_recovered(self):
+        options = TcpOptions(sack=True)
+        conn, net = run_transfer(options, drops={5, 9, 13})
+        assert conn.sack_enabled
+
+    def test_sack_avoids_resending_delivered_data(self):
+        """With several holes in one window, SACK retransmits only the
+        holes; Reno retransmits data the receiver already has."""
+        drops = {5, 8, 11, 14}
+        reno_conn, _ = run_transfer(TcpOptions(sack=False), drops)
+        sack_conn, _ = run_transfer(TcpOptions(sack=True), drops)
+        assert sack_conn.retransmitted_segments <= reno_conn.retransmitted_segments
+        # SACK never resends more than the dropped segments plus FIN-era
+        # stragglers; Reno's go-back-N after an RTO resends extra.
+        assert sack_conn.retransmitted_segments <= len(drops) + 2
+
+    def test_random_loss_with_sack_exact(self):
+        options = TcpOptions(sack=True)
+        net = Net(seed=17, options=options)
+        net.client_link.a_to_b.loss_rate = 0.08
+        state = start_sink_server(net)
+        payload = bytes((i * 7) % 256 for i in range(50_000))
+        conn = net.client_tcp.connect(net.server_host.ip, 7, options=options)
+        sent = {"n": 0}
+
+        def pump():
+            while sent["n"] < len(payload):
+                n = conn.send(payload[sent["n"] : sent["n"] + 4096])
+                sent["n"] += n
+                if n == 0:
+                    break
+
+        conn.on_established = pump
+        conn.on_send_space = pump
+        net.run(until=300.0)
+        assert bytes(state["data"]) == payload

@@ -1,0 +1,60 @@
+"""Tests for 32-bit sequence arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.tcp import seq_add, seq_between, seq_diff, seq_ge, seq_gt, seq_le, seq_lt
+from repro.tcp.seqnum import SEQ_MOD
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+small = st.integers(min_value=-(2**30), max_value=2**30)
+
+
+def test_add_wraps():
+    assert seq_add(SEQ_MOD - 1, 1) == 0
+    assert seq_add(0, -1) == SEQ_MOD - 1
+
+
+def test_diff_simple():
+    assert seq_diff(10, 4) == 6
+    assert seq_diff(4, 10) == -6
+
+
+def test_diff_across_wrap():
+    assert seq_diff(5, SEQ_MOD - 5) == 10
+    assert seq_diff(SEQ_MOD - 5, 5) == -10
+
+
+def test_comparisons_across_wrap():
+    old = SEQ_MOD - 100
+    new = 50  # wrapped past zero
+    assert seq_lt(old, new)
+    assert seq_gt(new, old)
+    assert seq_le(old, old)
+    assert seq_ge(new, new)
+
+
+def test_between_across_wrap():
+    assert seq_between(SEQ_MOD - 10, 5, 20)
+    assert not seq_between(SEQ_MOD - 10, 30, 20)
+
+
+@given(seqs, small)
+def test_add_then_diff_round_trips(base, delta):
+    assert seq_diff(seq_add(base, delta), base) == delta
+
+
+@given(seqs, small)
+def test_lt_gt_antisymmetric(base, delta):
+    a = seq_add(base, delta)
+    if delta > 0:
+        assert seq_lt(base, a) and seq_gt(a, base)
+    elif delta < 0:
+        assert seq_gt(base, a) and seq_lt(a, base)
+    else:
+        assert seq_le(base, a) and seq_ge(base, a)
+
+
+@given(seqs)
+def test_reflexive(a):
+    assert seq_le(a, a) and seq_ge(a, a)
+    assert not seq_lt(a, a) and not seq_gt(a, a)

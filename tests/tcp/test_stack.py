@@ -1,0 +1,120 @@
+"""TCP stack-level behaviour: demux, listeners, RSTs, ISS policies."""
+
+import pytest
+
+from repro.netsim import IPAddress
+from repro.tcp import TcpError, TcpState, deterministic_iss
+
+from .conftest import Net, start_sink_server
+
+
+def test_segments_to_unbound_port_get_rst(net):
+    reasons = []
+    conn = net.client_tcp.connect(net.server_host.ip, 4242)
+    conn.on_closed = reasons.append
+    net.run()
+    assert reasons == ["refused"]
+    assert net.server_tcp.resets_sent == 1
+
+
+def test_listener_close_stops_new_connections(net):
+    state = start_sink_server(net)
+    listener = net.server_tcp.listeners[(None, 7)]
+    listener.close()
+    reasons = []
+    conn = net.client_tcp.connect(net.server_host.ip, 7)
+    conn.on_closed = reasons.append
+    net.run()
+    assert reasons == ["refused"]
+    assert state["conns"] == []
+
+
+def test_duplicate_listen_rejected(net):
+    net.server_tcp.listen(7)
+    with pytest.raises(TcpError):
+        net.server_tcp.listen(7)
+
+
+def test_listen_same_port_different_ips(net):
+    net.server_tcp.listen(7, ip=net.server_host.ip)
+    net.server_tcp.listen(7, ip="192.0.2.9")  # virtual host style
+
+
+def test_specific_ip_listener_preferred(net):
+    hits = {"specific": 0, "wild": 0}
+    wild = net.server_tcp.listen(7)
+    wild.on_accept = lambda c: hits.__setitem__("wild", hits["wild"] + 1)
+    specific = net.server_tcp.listen(7, ip=net.server_host.ip)
+    specific.on_accept = lambda c: hits.__setitem__("specific", hits["specific"] + 1)
+    net.client_tcp.connect(net.server_host.ip, 7)
+    net.run()
+    assert hits == {"specific": 1, "wild": 0}
+
+
+def test_connect_no_route_raises():
+    net = Net()
+    # No route installed for this prefix at the client's kernel level
+    # (build_routes gave the client a default route, so use a host with
+    # no interfaces instead).
+    from repro.netsim import Host, Simulator
+    from repro.tcp import TcpStack
+
+    sim = Simulator()
+    lonely = Host(sim, "lonely")
+    stack = TcpStack(lonely)
+    with pytest.raises(TcpError):
+        stack.connect("203.0.113.1", 80)
+
+
+def test_ephemeral_ports_unique(net):
+    start_sink_server(net)
+    conns = [net.client_tcp.connect(net.server_host.ip, 7) for _ in range(20)]
+    ports = {c.local_port for c in conns}
+    assert len(ports) == 20
+
+
+def test_connection_table_cleanup_after_reset(net):
+    reasons = []
+    conn = net.client_tcp.connect(net.server_host.ip, 4242)
+    conn.on_closed = reasons.append
+    net.run()
+    assert not net.client_tcp.connections
+
+
+def test_deterministic_iss_is_stable_and_tuple_sensitive():
+    a = deterministic_iss(IPAddress("1.1.1.1"), 80, IPAddress("2.2.2.2"), 5000)
+    b = deterministic_iss(IPAddress("1.1.1.1"), 80, IPAddress("2.2.2.2"), 5000)
+    c = deterministic_iss(IPAddress("1.1.1.1"), 80, IPAddress("2.2.2.2"), 5001)
+    assert a == b
+    assert a != c
+    assert 0 <= a < 2**32
+
+
+def test_listener_iss_policy_used(net):
+    state = start_sink_server(net)
+    listener = net.server_tcp.listeners[(None, 7)]
+    listener.iss_policy = lambda lip, lport, rip, rport: 12345
+    net.client_tcp.connect(net.server_host.ip, 7)
+    net.run()
+    assert state["conns"][0].iss == 12345
+
+
+def test_configure_connection_hook_runs_before_synack(net):
+    state = start_sink_server(net)
+    listener = net.server_tcp.listeners[(None, 7)]
+    configured = []
+
+    def configure(conn):
+        configured.append(conn.state)
+
+    listener.configure_connection = configure
+    net.client_tcp.connect(net.server_host.ip, 7)
+    net.run()
+    assert configured == [TcpState.CLOSED]  # before open_passive ran
+
+
+def test_default_iss_varies_per_connection(net):
+    start_sink_server(net)
+    c1 = net.client_tcp.connect(net.server_host.ip, 7)
+    c2 = net.client_tcp.connect(net.server_host.ip, 7)
+    assert c1.iss != c2.iss

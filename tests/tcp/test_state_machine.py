@@ -1,0 +1,118 @@
+"""Explicit TCP state-transition coverage (the RFC 793 diagram)."""
+
+import pytest
+
+from repro.tcp import TcpState
+
+from .conftest import Net, start_sink_server
+
+
+def transition_log(conn, net):
+    """Record every state the connection passes through."""
+    states = [conn.state]
+
+    def watch():
+        if conn.state != states[-1]:
+            states.append(conn.state)
+        if conn.state != TcpState.CLOSED:
+            net.sim.schedule(0.0005, watch)
+
+    net.sim.schedule(0.0, watch)
+    return states
+
+
+class TestActiveOpenPath:
+    def test_closed_syn_sent_established(self, net):
+        start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        states = transition_log(conn, net)
+        net.run(until=1.0)
+        assert states[:2] == [TcpState.SYN_SENT, TcpState.ESTABLISHED]
+
+    def test_active_close_fin_wait_sequence(self, net):
+        start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        states = transition_log(conn, net)
+        # Delay the close so ESTABLISHED is durable enough to observe;
+        # FIN_WAIT_2 can be transient (the sink closes immediately on
+        # our FIN), so assert the ordered milestones instead.
+        conn.on_established = lambda: net.sim.schedule(0.05, conn.close)
+        net.run(until=60.0)
+        milestones = [
+            TcpState.SYN_SENT,
+            TcpState.ESTABLISHED,
+            TcpState.FIN_WAIT_1,
+            TcpState.TIME_WAIT,
+            TcpState.CLOSED,
+        ]
+        positions = [states.index(m) for m in milestones]
+        assert positions == sorted(positions)
+        assert states[-1] == TcpState.CLOSED
+
+
+class TestPassiveOpenPath:
+    def test_syn_rcvd_established(self, net):
+        state = start_sink_server(net)
+        server_states = []
+        listener = net.server_tcp.listeners[(None, 7)]
+        listener.configure_connection = lambda conn: server_states.append(conn.state)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        net.run(until=1.0)
+        server_conn = state["conns"][0]
+        assert server_states == [TcpState.CLOSED]  # before open_passive
+        assert server_conn.state == TcpState.ESTABLISHED
+
+    def test_passive_close_close_wait_last_ack(self, net):
+        state = start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        server_states = {}
+
+        def established():
+            server_conn = state["conns"][0]
+            # Close the server side half a second after the client's
+            # FIN, so CLOSE_WAIT is durable enough to observe.
+            server_conn.on_remote_close = lambda: net.sim.schedule(
+                0.5, server_conn.close
+            )
+            server_states["log"] = transition_log(server_conn, net)
+            conn.close()
+
+        conn.on_established = lambda: net.sim.schedule(0.05, established)
+        net.run(until=60.0)
+        log = server_states["log"]
+        assert TcpState.CLOSE_WAIT in log
+        assert TcpState.LAST_ACK in log
+        assert log[-1] == TcpState.CLOSED
+
+
+class TestSimultaneousCloseStates:
+    def test_closing_state_reached(self, net):
+        state = start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        states = transition_log(conn, net)
+
+        def both():
+            conn.close()
+            state["conns"][0].close()
+
+        conn.on_established = lambda: net.sim.schedule(0.1, both)
+        net.run(until=60.0)
+        # Simultaneous close on at least one side passes through CLOSING
+        # or the normal FIN_WAIT_2 path, both ending CLOSED.
+        assert states[-1] == TcpState.CLOSED
+        assert TcpState.FIN_WAIT_1 in states
+
+
+class TestAbortPaths:
+    def test_established_to_closed_on_abort(self, net):
+        start_sink_server(net)
+        conn = net.client_tcp.connect(net.server_host.ip, 7)
+        conn.on_established = conn.abort
+        net.run(until=5.0)
+        assert conn.state == TcpState.CLOSED
+
+    def test_syn_sent_to_closed_on_refusal(self, net):
+        conn = net.client_tcp.connect(net.server_host.ip, 4040)
+        states = transition_log(conn, net)
+        net.run(until=5.0)
+        assert states == [TcpState.SYN_SENT, TcpState.CLOSED]

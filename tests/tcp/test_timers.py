@@ -1,0 +1,86 @@
+"""Tests for RTO estimation."""
+
+import pytest
+
+from repro.tcp import RtoEstimator, TcpOptions
+
+
+def make(**kw):
+    return RtoEstimator(TcpOptions(**kw))
+
+
+def test_initial_rto():
+    est = make(initial_rto=3.0)
+    assert est.rto == 3.0
+    assert est.srtt is None
+
+
+def test_first_sample_initializes():
+    est = make(min_rto=0.0)
+    est.on_measurement(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+    assert est.rto == pytest.approx(0.1 + 4 * 0.05)
+
+
+def test_smoothing_converges():
+    est = make(min_rto=0.0)
+    for _ in range(200):
+        est.on_measurement(0.08)
+    assert est.srtt == pytest.approx(0.08, rel=1e-3)
+    # With constant RTT, variance decays and RTO approaches srtt + floor.
+    assert est.rto < 0.12
+
+
+def test_min_rto_clamp():
+    est = make(min_rto=0.2)
+    for _ in range(50):
+        est.on_measurement(0.001)
+    assert est.rto == 0.2
+
+
+def test_max_rto_clamp():
+    est = make(max_rto=10.0)
+    est.on_measurement(1.0)
+    for _ in range(20):
+        est.on_timeout()
+    assert est.rto == 10.0
+
+
+def test_backoff_doubles():
+    est = make(initial_rto=1.0, min_rto=0.1, max_rto=100.0)
+    base = est.rto
+    est.on_timeout()
+    assert est.rto == pytest.approx(2 * base)
+    est.on_timeout()
+    assert est.rto == pytest.approx(4 * base)
+
+
+def test_measurement_resets_backoff():
+    est = make(initial_rto=1.0, max_rto=100.0)
+    est.on_timeout()
+    est.on_timeout()
+    est.on_measurement(0.5)
+    assert est.backoff_count == 0
+
+
+def test_variance_tracks_jitter():
+    stable = make(min_rto=0.0)
+    jittery = make(min_rto=0.0)
+    for i in range(100):
+        stable.on_measurement(0.1)
+        jittery.on_measurement(0.05 if i % 2 else 0.15)
+    assert jittery.rto > stable.rto
+
+
+def test_negative_sample_rejected():
+    est = make()
+    with pytest.raises(ValueError):
+        est.on_measurement(-0.1)
+
+
+def test_sample_count():
+    est = make()
+    est.on_measurement(0.1)
+    est.on_measurement(0.1)
+    assert est.samples == 2

@@ -1,0 +1,157 @@
+"""Tests for the UDP stack."""
+
+import pytest
+
+from repro.netsim import IPAddress, Simulator, Topology, ZERO_COST
+from repro.udp import PortInUseError, UdpError, UdpStack
+
+
+@pytest.fixture()
+def net():
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a", ZERO_COST)
+    b = topo.add_host("b", ZERO_COST)
+    r = topo.add_router("r", ZERO_COST)
+    topo.connect(a, r)
+    topo.connect(r, b)
+    topo.build_routes()
+    return sim, a, b, UdpStack(a), UdpStack(b)
+
+
+def test_send_receive(net):
+    sim, a, b, ua, ub = net
+    server = ub.socket()
+    server.bind(5000)
+    client = ua.socket()
+    client.send_to(b.ip, 5000, b"hello")
+    sim.run()
+    data, src_ip, src_port, dst_ip = server.recv()
+    assert data == b"hello"
+    assert src_ip == a.ip
+    assert dst_ip == b.ip
+
+
+def test_reply_path(net):
+    sim, a, b, ua, ub = net
+    server = ub.socket()
+    server.bind(5000)
+
+    def echo(data, src_ip, src_port, dst_ip):
+        server.send_to(src_ip, src_port, data.upper())
+
+    server.on_datagram = echo
+    client = ua.socket()
+    client.bind()
+    client.send_to(b.ip, 5000, b"ping")
+    sim.run()
+    data, src_ip, src_port, _ = client.recv()
+    assert data == b"PING"
+    assert src_port == 5000
+
+
+def test_unbound_port_drops(net):
+    sim, a, b, ua, ub = net
+    client = ua.socket()
+    client.send_to(b.ip, 9999, b"void")
+    sim.run()
+    assert ub.datagrams_dropped_no_port == 1
+
+
+def test_double_bind_same_port_rejected(net):
+    _, _, _, ua, _ = net
+    s1 = ua.socket()
+    s1.bind(700)
+    s2 = ua.socket()
+    with pytest.raises(PortInUseError):
+        s2.bind(700)
+
+
+def test_same_port_different_ips_allowed(net):
+    _, a, _, ua, _ = net
+    s1 = ua.socket()
+    s1.bind(700, ip=a.ip)
+    s2 = ua.socket()
+    s2.bind(700, ip="192.0.2.1")  # virtual-host style binding
+
+
+def test_specific_ip_binding_beats_wildcard(net):
+    sim, a, b, ua, ub = net
+    wild = ub.socket()
+    wild.bind(700)
+    specific = ub.socket()
+    specific.bind(700, ip=b.ip)
+    client = ua.socket()
+    client.send_to(b.ip, 700, b"x")
+    sim.run()
+    assert specific.datagrams_received == 1
+    assert wild.datagrams_received == 0
+
+
+def test_ephemeral_ports_distinct(net):
+    _, _, _, ua, _ = net
+    ports = {ua.socket().bind() for _ in range(50)}
+    assert len(ports) == 50
+
+
+def test_close_unbinds(net):
+    sim, a, b, ua, ub = net
+    server = ub.socket()
+    server.bind(5000)
+    server.close()
+    client = ua.socket()
+    client.send_to(b.ip, 5000, b"late")
+    sim.run()
+    assert ub.datagrams_dropped_no_port == 1
+
+
+def test_closed_socket_rejects_operations(net):
+    _, _, b, ua, _ = net
+    sock = ua.socket()
+    sock.close()
+    with pytest.raises(UdpError):
+        sock.bind(1)
+    with pytest.raises(UdpError):
+        sock.send_to(b.ip, 1, b"")
+
+
+def test_rebind_rejected(net):
+    _, _, _, ua, _ = net
+    sock = ua.socket()
+    sock.bind(10)
+    with pytest.raises(UdpError):
+        sock.bind(11)
+
+
+def test_structured_payload_round_trip(net):
+    sim, a, b, ua, ub = net
+
+    class Msg:
+        wire_size = 24
+
+        def __init__(self, value):
+            self.value = value
+
+    server = ub.socket()
+    server.bind(5000)
+    ua.socket().send_to(b.ip, 5000, Msg(42))
+    sim.run()
+    data, *_ = server.recv()
+    assert data.value == 42
+
+
+def test_recv_empty_returns_none(net):
+    _, _, _, ua, _ = net
+    assert ua.socket().recv() is None
+
+
+def test_counters(net):
+    sim, a, b, ua, ub = net
+    server = ub.socket()
+    server.bind(5000)
+    client = ua.socket()
+    for _ in range(3):
+        client.send_to(b.ip, 5000, b"x")
+    sim.run()
+    assert client.datagrams_sent == 3
+    assert server.datagrams_received == 3

@@ -1,0 +1,95 @@
+"""Additional UDP stack coverage."""
+
+import pytest
+
+from repro.netsim import Simulator, Topology, ZERO_COST
+from repro.udp import EPHEMERAL_PORT_START, UdpStack
+from repro.udp.udp import EPHEMERAL_PORT_END
+
+
+@pytest.fixture()
+def pair():
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a", ZERO_COST)
+    b = topo.add_host("b", ZERO_COST)
+    topo.connect(a, b)
+    topo.build_routes()
+    return sim, UdpStack(a), UdpStack(b), a, b
+
+
+def test_ephemeral_allocation_wraps(pair):
+    sim, ua, ub, a, b = pair
+    ua._next_ephemeral = EPHEMERAL_PORT_END  # force the wrap path
+    s1 = ua.socket()
+    s1.bind()
+    s2 = ua.socket()
+    s2.bind()
+    assert s1.local_port == EPHEMERAL_PORT_END
+    assert s2.local_port == EPHEMERAL_PORT_START
+
+
+def test_ephemeral_skips_taken_port(pair):
+    sim, ua, ub, a, b = pair
+    taken = ua.socket()
+    taken.bind(EPHEMERAL_PORT_START)
+    ua._next_ephemeral = EPHEMERAL_PORT_START
+    fresh = ua.socket()
+    fresh.bind()
+    assert fresh.local_port == EPHEMERAL_PORT_START + 1
+
+
+def test_close_is_idempotent(pair):
+    sim, ua, ub, a, b = pair
+    sock = ua.socket()
+    sock.bind(100)
+    sock.close()
+    sock.close()  # no error
+    fresh = ua.socket()
+    fresh.bind(100)  # port is free again
+
+
+def test_delivery_to_closed_socket_dropped(pair):
+    sim, ua, ub, a, b = pair
+    server = ub.socket()
+    server.bind(9)
+    client = ua.socket()
+    client.send_to(b.ip, 9, b"in flight")
+    server.closed = True  # closes mid-flight, still bound
+    sim.run()
+    assert server.recv() is None
+
+
+def test_push_mode_bypasses_queue(pair):
+    sim, ua, ub, a, b = pair
+    server = ub.socket()
+    server.bind(9)
+    pushed = []
+    server.on_datagram = lambda data, *rest: pushed.append(data)
+    ua.socket().send_to(b.ip, 9, b"pushy")
+    sim.run()
+    assert pushed == [b"pushy"]
+    assert server.recv_queue == []
+
+
+def test_send_uses_route_source_address(pair):
+    sim, ua, ub, a, b = pair
+    server = ub.socket()
+    server.bind(9)
+    ua.socket().send_to(b.ip, 9, b"from where?")
+    sim.run()
+    _, src_ip, _, _ = server.recv()
+    assert src_ip == a.ip
+
+
+def test_unbound_recv_returns_none(pair):
+    sim, ua, ub, a, b = pair
+    assert ua.socket().recv() is None
+
+
+def test_stack_counts_unclaimed(pair):
+    sim, ua, ub, a, b = pair
+    for port in (71, 72, 73):
+        ua.socket().send_to(b.ip, port, b"?")
+    sim.run()
+    assert ub.datagrams_dropped_no_port == 3
