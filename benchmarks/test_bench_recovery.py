@@ -1,0 +1,25 @@
+"""D3: autonomous recovery — MTTR, catch-up time, and transfer volume."""
+
+from repro.experiments.recovery import TARGET_DEGREE, run_recovery_cycles
+
+from .conftest import bench_once
+
+
+def test_bench_recovery_cycles(benchmark):
+    result = bench_once(benchmark, run_recovery_cycles, cycles=1)
+    benchmark.extra_info["mttr_s"] = [round(i.mttr, 2) for i in result.incidents]
+    benchmark.extra_info["catchup_s"] = [
+        round(i.catchup_duration, 3) for i in result.incidents
+    ]
+    benchmark.extra_info["transfer_bytes"] = [
+        i.transfer_bytes for i in result.incidents
+    ]
+    benchmark.extra_info["availability"] = round(result.availability, 4)
+    assert result.joins_completed == 2 * result.cycles
+    assert result.joins_aborted == 0
+    assert result.stream_intact
+    assert result.client_events == []  # full transparency
+    assert result.final_degree == TARGET_DEGREE
+    for incident in result.incidents:
+        assert 0 < incident.mttr < 30.0
+        assert incident.transfer_bytes > 0

@@ -22,6 +22,7 @@ def main() -> int:
     print("commands:")
     print("  python -m repro experiments [--fast]   run the full evaluation")
     print("  python -m repro.experiments.figure4    just the paper's Figure 4")
+    print("  python -m repro.experiments.recovery   D3 autonomous recovery demo")
     print("  pytest tests/                          the test suite")
     print("  pytest benchmarks/ --benchmark-only    benchmark harness")
     return 0

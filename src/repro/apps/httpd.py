@@ -10,7 +10,7 @@ and large stateful transfers (media/data feeds).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.sockets.api import Node

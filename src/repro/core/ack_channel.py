@@ -12,8 +12,8 @@ connections, and lost messages are absorbed by client retransmissions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.netsim.addressing import IPAddress, as_address
 from repro.netsim.simulator import Timer

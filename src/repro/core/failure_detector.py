@@ -59,4 +59,9 @@ class RetransmissionDetector:
         self.on_failure()
 
     def reset(self) -> None:
+        """Forget all history.  This includes the report cooldown: a
+        reset detector is factory-fresh, and its first post-reset
+        threshold crossing must report immediately (a stale cooldown
+        from before the reset would suppress it)."""
         self._events.clear()
+        self._last_report = None

@@ -16,16 +16,23 @@ Per replicated port this module maintains:
 * the *failure estimator* — repeated client retransmissions observed
   at the port trigger a failure report to the redirector;
 * *chain updates* — the management protocol re-chains replicas and
-  promotes a backup to primary during fail-over.
+  promotes a backup to primary during fail-over;
+* the *catch-up log* and *chain splice* — hooks for the recovery
+  subsystem (EXTENSION, DESIGN.md §8): every connection records the
+  client byte stream it deposited so a replacement replica can be
+  brought up to speed live, and a two-phase splice extends the chain
+  with the joiner as the new last backup.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.netsim.addressing import IPAddress, as_address
 from repro.netsim.packet import TCPSegment
 from repro.netsim.simulator import Timer
+from repro.hydranet.mgmt import ConnSnapshot, StateSnapshot
 from repro.tcp.seqnum import seq_add, seq_diff
 from repro.tcp.stack import Listener, deterministic_iss
 from repro.tcp.tcb import TcpConnection, TcpState
@@ -37,14 +44,54 @@ from .replicated_port import DetectorParams, PortMode, ReplicatedPortTable
 if TYPE_CHECKING:
     from repro.hydranet.daemons import HostServerDaemon
     from repro.hydranet.host_server import HostServer
-    from repro.hydranet.mgmt import ChainUpdate
+    from repro.hydranet.mgmt import ChainSplice, ChainUpdate, JoinRequest
     from repro.tcp.options import TcpOptions
 
 ClientKey = tuple[IPAddress, int]
 
+#: Per-connection cap on the catch-up log.  A connection whose client
+#: stream outgrows it becomes untransferable (it is skipped in
+#: snapshots and keeps running with whatever redundancy it has).
+DEFAULT_CATCHUP_LOG_LIMIT = 4 * 1024 * 1024
+
+#: Stream bytes per base-transfer piece (a handful of IP fragments on
+#: an era 1500-byte-MTU link).
+DEFAULT_CATCHUP_CHUNK = 4096
+
 
 class FtError(RuntimeError):
     pass
+
+
+class CatchupLog:
+    """The client byte stream deposited on one connection, retained so
+    a joining replica can replay it through the deterministic server
+    program (EXTENSION — recovery subsystem, DESIGN.md §8).
+
+    Deposits arrive in order starting at stream offset 0, so the log is
+    a list of contiguous chunks.  ``size`` is the next expected offset;
+    a hole (hook attached late) or exceeding ``limit`` marks the log
+    ``truncated`` and frees the memory — the connection then cannot be
+    transferred."""
+
+    def __init__(self, limit: int = DEFAULT_CATCHUP_LOG_LIMIT):
+        self.limit = limit
+        self.size = 0
+        self.truncated = False
+        self._chunks: list[bytes] = []
+
+    def record(self, start: int, data: bytes) -> None:
+        if self.truncated:
+            return
+        if start != self.size or self.size + len(data) > self.limit:
+            self.truncated = True
+            self._chunks.clear()
+            return
+        self._chunks.append(data)
+        self.size += len(data)
+
+    def contents(self) -> bytes:
+        return b"".join(self._chunks)
 
 
 class FtConnectionState:
@@ -56,8 +103,10 @@ class FtConnectionState:
         self.created_at = port.sim.now
         #: Whether this replica waits on a successor for this
         #: connection.  Set at connection creation from the chain
-        #: layout; can only be cleared (successor removed) — a backup
-        #: added mid-connection has no state for it and must not gate us.
+        #: layout; cleared when the successor is removed — a backup
+        #: added mid-connection has no state for it and must not gate
+        #: us.  The one way it turns back on is a chain splice: the
+        #: joiner then provably holds live state for this connection.
         self.gated = gated
         # Successor progress in stream offsets.
         self.successor_sent_upto = 0
@@ -66,6 +115,35 @@ class FtConnectionState:
         self.last_successor_msg: Optional[float] = None
         # Messages that arrived before the handshake fixed IRS.
         self._pending_raw: list[AckChannelMessage] = []
+        #: Client stream retained for live joins (recovery subsystem).
+        self.catchup_log = CatchupLog(port.catchup_log_limit)
+
+    # -- recovery hooks -------------------------------------------------
+
+    def record_deposit(self, start: int, data: bytes) -> None:
+        """TCB deposit hook: log the client bytes and forward them to
+        any replica currently catching up on this connection."""
+        self.catchup_log.record(start, data)
+        self.port._forward_delta(self, start, data)
+
+    def announce(self) -> None:
+        """Report this replica's current progress on the
+        acknowledgement channel unprompted (a joiner does this right
+        after the chain splice so its new predecessor can open its
+        gates without waiting for fresh client traffic)."""
+        conn = self.conn
+        port = self.port
+        if port.predecessor_ip is None or conn.irs is None:
+            return
+        message = AckChannelMessage(
+            service_ip=port.service_ip,
+            service_port=port.port,
+            client_ip=conn.remote_ip,
+            client_port=conn.remote_port,
+            seq_next=seq_add(conn.iss, 1 + conn.snd_nxt),
+            ack=seq_add(conn.irs, 1 + conn.ack_point),
+        )
+        port.ack_endpoint.send(message, port.predecessor_ip)
 
     # -- gates installed into the TCB ---------------------------------
 
@@ -175,6 +253,32 @@ class FtPort:
             self.sim, detector_params, self._report_failure
         )
         self.shut_down = False
+        #: True while this replica is catching up as a live joiner: it
+        #: is not in the redirector's multicast set yet, replays the
+        #: donor's stream locally, and must not raise failure reports
+        #: (its retransmission timers fire with nobody ACKing until the
+        #: chain splice).
+        self.joining = False
+        self.catchup_log_limit = DEFAULT_CATCHUP_LOG_LIMIT
+        #: Donor side: a base transfer is shipped in pieces of at most
+        #: this many stream bytes so no single datagram's IP fragments
+        #: can overrun a bottleneck queue (which would make the message
+        #: unreassemblable at any number of retries).
+        self.catchup_chunk_size = DEFAULT_CATCHUP_CHUNK
+        #: Donor side: joiner ip -> connection keys being fed deltas.
+        self._catchup_feeds: dict[IPAddress, set[ClientKey]] = {}
+        #: Joiner side: deltas that outran the base snapshot install.
+        self._pending_deltas: dict[ClientKey, list[ConnSnapshot]] = {}
+        #: Joiner side: per-connection stream length of the base cut —
+        #: JoinReady goes out only when every installed connection's
+        #: contiguous stream reaches its mark.
+        self._catchup_targets: dict[ClientKey, int] = {}
+        self._base_installed = False
+        self._join_ready_sent = False
+        self.snapshots_sent = 0
+        self.connections_transferred = 0
+        self.catchup_bytes_sent = 0
+        self.catchup_bytes_received = 0
         self.promotions = 0
         self.chain_updates_applied = 0
         self._last_liveness_report: Optional[float] = None
@@ -197,9 +301,13 @@ class FtPort:
         self,
         on_accept: Callable[[TcpConnection], None],
         tcp_options: Optional["TcpOptions"] = None,
+        register: bool = True,
     ) -> Listener:
         """Create the listener for the replicated port (the server
-        program's ``bind()``)."""
+        program's ``bind()``).  A live joiner binds with
+        ``register=False``: it must not enter the redirector's
+        multicast set (and hence the chain) until its catch-up is
+        complete and the recovery manager splices it in."""
         if self.listener is not None:
             raise FtError(f"port {self.port} already bound")
         vhost = self.host_server.v_host(self.service_ip)
@@ -217,7 +325,7 @@ class FtPort:
         listener.configure_connection = self._configure_connection
         listener.on_accept = on_accept
         self.listener = listener
-        if self.daemon is not None:
+        if self.daemon is not None and register:
             self.daemon.register(self.service_ip, self.port, self.mode.value)
         return listener
 
@@ -232,6 +340,7 @@ class FtPort:
         conn.deposit_limit = state.deposit_ceiling
         conn.transmit_limit = state.transmit_ceiling
         conn.output_filter = lambda segment: self._filter_output(state, segment)
+        conn.on_deposit_data = state.record_deposit
         conn.on_retransmission_observed = (
             lambda segment: self._on_retransmission(state, segment)
         )
@@ -286,7 +395,9 @@ class FtPort:
     # -- failure detection --------------------------------------------------------
 
     def _on_retransmission(self, state: FtConnectionState, segment: TCPSegment) -> None:
-        if self.shut_down:
+        if self.shut_down or self.joining:
+            # A joiner replaying the donor's stream retransmits into
+            # the void until the splice — that is not a failure.
             return
         self.detector.observe_retransmission()
 
@@ -295,7 +406,7 @@ class FtPort:
         the time while the primary serves it; only a REPEATED sequence
         number — a client retransmission into the void — is a failure
         signal."""
-        if self.shut_down:
+        if self.shut_down or self.joining:
             return
         key = (packet.src, segment.src_port)
         last = self._unknown_last_seq.get(key)
@@ -306,7 +417,9 @@ class FtPort:
             self.detector.observe_retransmission()
 
     def _report_failure(self) -> None:
-        if self.daemon is None or self.shut_down or self.host_server.crashed:
+        if self.daemon is None or self.shut_down or self.joining:
+            return
+        if self.host_server.crashed:
             return
         suspects = []
         suspect = self._quiet_successor()
@@ -318,7 +431,7 @@ class FtPort:
         if self.shut_down or self.host_server.crashed:
             return
         self._liveness_timer.start(self._liveness_period)
-        if not self.has_successor or self.daemon is None:
+        if self.joining or not self.has_successor or self.daemon is None:
             return
         quiet = self.detector_params.successor_quiet
         now = self.sim.now
@@ -353,6 +466,198 @@ class FtPort:
             ):
                 return state.successor_ip
         return None
+
+    # -- live join (recovery subsystem, EXTENSION) ----------------------------
+
+    def begin_catchup_feed(self, joiner_ip) -> None:
+        """Donor side of a live join: send a base snapshot of every
+        transferable in-flight connection to ``joiner_ip``, then keep
+        forwarding every subsequent deposit as a delta until the chain
+        splice arrives.  The overlap with the multicast traffic the
+        joiner starts receiving at splice time is harmless — the
+        reassembler clips duplicate bytes.
+
+        The base transfer is chunked: the first chunk of each log goes
+        in the base snapshot, the rest follow as individual delta
+        messages (absolute offsets, so the unordered mgmt layer is
+        fine).  Every piece carries ``input_total`` so the joiner knows
+        when it has the whole cut."""
+        if self.shut_down or self.daemon is None:
+            return
+        from repro.recovery.state_transfer import snapshot_connections
+
+        joiner_ip = as_address(joiner_ip)
+        snaps, keys = snapshot_connections(self)
+        self._catchup_feeds[joiner_ip] = keys
+        chunk = self.catchup_chunk_size
+        base_conns = []
+        tail_chunks = []
+        for s in snaps:
+            total = len(s.input)
+            base_conns.append(
+                replace(s, input=s.input[:chunk], input_total=total)
+            )
+            for off in range(chunk, total, chunk):
+                tail_chunks.append(
+                    replace(
+                        s,
+                        input=s.input[off : off + chunk],
+                        input_start=off,
+                        input_total=total,
+                    )
+                )
+            self.catchup_bytes_sent += total
+        snapshot = StateSnapshot(
+            service_ip=self.service_ip,
+            port=self.port,
+            donor_ip=self.host_server.ip,
+            conns=tuple(base_conns),
+            delta=False,
+        )
+        self.daemon.send_snapshot(snapshot, joiner_ip)
+        self.snapshots_sent += 1
+        for piece in tail_chunks:
+            self.daemon.send_snapshot(
+                StateSnapshot(
+                    service_ip=self.service_ip,
+                    port=self.port,
+                    donor_ip=self.host_server.ip,
+                    conns=(piece,),
+                    delta=True,
+                ),
+                joiner_ip,
+            )
+
+    def end_catchup_feed(self, joiner_ip) -> None:
+        self._catchup_feeds.pop(as_address(joiner_ip), None)
+
+    def _forward_delta(self, state: FtConnectionState, start: int, data: bytes) -> None:
+        """Forward one deposit to every joiner catching up on this
+        connection (closes the gap between base snapshot and splice)."""
+        if not self._catchup_feeds or self.daemon is None or self.shut_down:
+            return
+        conn = state.conn
+        key = (conn.remote_ip, conn.remote_port)
+        for joiner_ip, keys in self._catchup_feeds.items():
+            if key not in keys:
+                continue
+            snap = ConnSnapshot(
+                client_ip=conn.remote_ip,
+                client_port=conn.remote_port,
+                iss=conn.iss,
+                irs=conn.irs,
+                input=data,
+                input_start=start,
+                client_acked=conn.snd_una,
+                peer_window=conn.peer_window,
+            )
+            self.daemon.send_snapshot(
+                StateSnapshot(
+                    service_ip=self.service_ip,
+                    port=self.port,
+                    donor_ip=self.host_server.ip,
+                    conns=(snap,),
+                    delta=True,
+                ),
+                joiner_ip,
+            )
+            self.catchup_bytes_sent += len(data)
+
+    def install_base_snapshot(self, snapshot: StateSnapshot) -> None:
+        """Joiner side: install the donor's base snapshot (synthesize
+        the connections, replay the first chunk of each client stream
+        through the local server program).  JoinReady follows once the
+        remaining chunks have arrived and every installed connection's
+        contiguous stream reaches the base cut."""
+        if self.shut_down:
+            return
+        from repro.recovery import state_transfer
+
+        keys = state_transfer.install_snapshot(self, snapshot)
+        self.catchup_bytes_received += sum(len(c.input) for c in snapshot.conns)
+        for conn_snap in snapshot.conns:
+            key = conn_snap.client_key
+            if key in keys or key in self.states:
+                target = conn_snap.input_total
+                if target < 0:
+                    target = conn_snap.input_start + len(conn_snap.input)
+                self._catchup_targets[key] = target
+        self._base_installed = True
+        self._maybe_join_ready()
+
+    def apply_delta(self, snapshot: StateSnapshot) -> None:
+        """Joiner side: apply an incremental catch-up piece (a chunk of
+        the base transfer or a post-snapshot deposit).  The reliable
+        mgmt layer is unordered, so a piece can outrun the base
+        snapshot — park it until the connection is installed."""
+        if self.shut_down:
+            return
+        from repro.recovery import state_transfer
+
+        for conn_snap in snapshot.conns:
+            self.catchup_bytes_received += len(conn_snap.input)
+            if conn_snap.client_key in self.states:
+                state_transfer.apply_delta(self, conn_snap)
+            else:
+                pending = self._pending_deltas.setdefault(conn_snap.client_key, [])
+                if len(pending) < 256:
+                    pending.append(conn_snap)
+        self._maybe_join_ready()
+
+    def _maybe_join_ready(self) -> None:
+        """Send JoinReady exactly once, when the base snapshot is in
+        and every installed connection has caught up to its cut."""
+        if (
+            not self.joining
+            or not self._base_installed
+            or self._join_ready_sent
+            or self.daemon is None
+        ):
+            return
+        for key, target in self._catchup_targets.items():
+            state = self.states.get(key)
+            if state is None or state.catchup_log.size < target:
+                return
+        self._join_ready_sent = True
+        self.daemon.join_ready(
+            self.service_ip,
+            self.port,
+            tuple(self._catchup_targets.keys()),
+            bytes_received=self.catchup_bytes_received,
+        )
+
+    def apply_chain_splice(self, splice: "ChainSplice") -> None:
+        """Second phase of the two-phase cut-over.  The same message
+        goes to the old tail (start gating the transferred connections
+        on the joiner) and to the joiner (you are live: here is your
+        predecessor, announce your progress)."""
+        if self.shut_down:
+            return
+        joiner_ip = as_address(splice.joiner_ip)
+        if self.host_server.ip == joiner_ip:
+            self.joining = False
+            self.predecessor_ip = as_address(splice.predecessor_ip)
+            self._pending_deltas.clear()
+            for raw_key in splice.conn_keys:
+                key = (as_address(raw_key[0]), raw_key[1])
+                state = self.states.get(key)
+                if state is not None:
+                    state.announce()
+        else:
+            # Old tail: the joiner holds live state for exactly the
+            # listed connections — gate those (and only those) on it.
+            self.end_catchup_feed(joiner_ip)
+            self.has_successor = True
+            now = self.sim.now
+            for raw_key in splice.conn_keys:
+                key = (as_address(raw_key[0]), raw_key[1])
+                state = self.states.get(key)
+                if state is not None:
+                    state.gated = True
+                    state.successor_ip = joiner_ip
+                    # Not silence — the splice just happened; give the
+                    # joiner a full quiet period before suspecting it.
+                    state.last_successor_msg = now
 
     # -- reconfiguration -------------------------------------------------------------
 
@@ -395,6 +700,9 @@ class FtPort:
         for state in list(self.states.values()):
             state.conn.kill_silently()
         self.states.clear()
+        self._catchup_feeds.clear()
+        self._pending_deltas.clear()
+        self._catchup_targets.clear()
 
 
 class FtStack:
@@ -414,6 +722,9 @@ class FtStack:
         if daemon is not None:
             daemon.on_chain_update = self._dispatch_chain_update
             daemon.on_shutdown = self._dispatch_shutdown
+            daemon.on_join_request = self._dispatch_join_request
+            daemon.on_state_snapshot = self._dispatch_state_snapshot
+            daemon.on_chain_splice = self._dispatch_chain_splice
 
     def setportopt(
         self,
@@ -430,9 +741,15 @@ class FtStack:
         port: int,
         on_accept: Callable[[TcpConnection], None],
         tcp_options: Optional["TcpOptions"] = None,
+        joining: bool = False,
     ) -> FtPort:
         """Bind a server program to a replicated port under the virtual
-        host of ``service_ip``.  ``setportopt`` must have been called."""
+        host of ``service_ip``.  ``setportopt`` must have been called.
+
+        With ``joining=True`` the port comes up as a live joiner: it
+        does not register with the redirector (staying out of the
+        multicast set and the chain) and mutes its failure detector
+        until the recovery manager splices it in."""
         options = self.port_table.get(port)
         if options is None:
             raise FtError(f"port {port} is not replicated (call setportopt first)")
@@ -448,7 +765,8 @@ class FtStack:
             self.ack_endpoint,
             self.daemon,
         )
-        ft_port.bind(on_accept, tcp_options)
+        ft_port.joining = joining
+        ft_port.bind(on_accept, tcp_options, register=not joining)
         self.ports[key] = ft_port
         return ft_port
 
@@ -475,3 +793,22 @@ class FtStack:
         ft_port = self.ports.get(key)
         if ft_port is not None:
             ft_port.shutdown()
+
+    def _dispatch_join_request(self, request: "JoinRequest") -> None:
+        ft_port = self.ports.get((as_address(request.service_ip), request.port))
+        if ft_port is not None:
+            ft_port.begin_catchup_feed(request.joiner_ip)
+
+    def _dispatch_state_snapshot(self, snapshot: StateSnapshot) -> None:
+        ft_port = self.ports.get((as_address(snapshot.service_ip), snapshot.port))
+        if ft_port is None:
+            return
+        if snapshot.delta:
+            ft_port.apply_delta(snapshot)
+        else:
+            ft_port.install_base_snapshot(snapshot)
+
+    def _dispatch_chain_splice(self, splice: "ChainSplice") -> None:
+        ft_port = self.ports.get((as_address(splice.service_ip), splice.port))
+        if ft_port is not None:
+            ft_port.apply_chain_splice(splice)

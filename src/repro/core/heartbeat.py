@@ -14,7 +14,7 @@ even for idle services.  Both run side by side in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.netsim.addressing import IPAddress, as_address
 from repro.netsim.simulator import Timer

@@ -20,7 +20,7 @@ requirement for primary/backup output to be interchangeable).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.hydranet.daemons import HostServerDaemon
 from repro.hydranet.host_server import HostServer
@@ -31,6 +31,9 @@ from repro.tcp.tcb import TcpConnection
 from .ack_channel import AckChannelEndpoint
 from .ft_tcp import FtPort, FtStack
 from .replicated_port import DetectorParams, PortMode
+
+if TYPE_CHECKING:
+    from repro.recovery.manager import RecoveryManager
 
 #: A factory producing the per-replica accept handler.  It receives the
 #: replica's host server (for logging / per-replica state) and returns
@@ -96,6 +99,10 @@ class ReplicatedTcpService:
         self.detector = detector or DetectorParams()
         self.tcp_options = tcp_options
         self.replicas: list[ReplicaHandle] = []
+        #: Set by an attached :class:`~repro.recovery.RecoveryManager`;
+        #: when present, ``recommission`` runs the live-join protocol
+        #: (in-flight connections included) instead of the cold path.
+        self.recovery: Optional["RecoveryManager"] = None
 
     def add_primary(self, node: FtNode) -> ReplicaHandle:
         return self._add(node, PortMode.PRIMARY)
@@ -113,6 +120,21 @@ class ReplicatedTcpService:
         self.replicas.append(handle)
         return handle
 
+    def provision_joiner(self, node: FtNode) -> ReplicaHandle:
+        """Bind the service's server program on ``node`` as a *live
+        joiner* (recovery subsystem): the port comes up with a muted
+        failure detector and without registering at the redirector —
+        it catches up in-flight connections via state transfer first,
+        and only enters the multicast set at the chain splice."""
+        node.stack.setportopt(self.port, PortMode.BACKUP, self.detector)
+        on_accept = self.server_factory(node.host_server)
+        ft_port = node.stack.listen_replicated(
+            self.service_ip, self.port, on_accept, self.tcp_options, joining=True
+        )
+        handle = ReplicaHandle(node, ft_port)
+        self.replicas.append(handle)
+        return handle
+
     def remove_replica(self, handle: ReplicaHandle, reason: str = "voluntary") -> None:
         """Voluntary departure (paper §4.4 deletion procedures)."""
         handle.node.daemon.unregister(self.service_ip, self.port, reason)
@@ -120,16 +142,20 @@ class ReplicatedTcpService:
         if handle in self.replicas:
             self.replicas.remove(handle)
 
-    def recommission(self, handle: ReplicaHandle) -> ReplicaHandle:
+    def recommission(self, handle: ReplicaHandle) -> Optional[ReplicaHandle]:
         """Re-commission a recovered server (EXTENSION — the paper's §6
         lists this as future work).
 
-        The recovered replica re-joins as the *last backup* in the
-        chain: its pre-failure TCP state is discarded (connections it
-        held are stale and are killed silently, never resumed), and it
-        participates fully in connections opened from now on.  Existing
-        connections on the surviving replicas do not gate on it — chain
-        membership is per-connection (DESIGN.md §5b).
+        The recovered replica's pre-failure TCP state is discarded
+        (connections it held are stale and are killed silently, never
+        resumed).  Without a recovery manager attached this is the
+        *cold* path: the node re-joins as the last backup and
+        participates only in connections opened from now on — existing
+        connections do not gate on it (per-connection chain membership,
+        DESIGN.md §5b).  With a :class:`~repro.recovery.RecoveryManager`
+        attached, the node instead runs the live-join protocol and also
+        catches up in-flight connections (may return ``None`` if the
+        manager pooled the node for a later join).
         """
         node = handle.node
         if node.host_server.crashed:
@@ -137,6 +163,8 @@ class ReplicatedTcpService:
         node.stack.decommission(self.service_ip, self.port)
         if handle in self.replicas:
             self.replicas.remove(handle)
+        if self.recovery is not None:
+            return self.recovery.recommission(node)
         return self.add_backup(node)
 
     @property
@@ -166,6 +194,8 @@ class ReplicatedTcpService:
                 state = "CRASHED"
             elif port.shut_down:
                 state = "shut down"
+            elif port.joining:
+                state = "joining"
             else:
                 state = "primary" if port.is_primary else "backup"
             chain = []
@@ -183,8 +213,12 @@ class ReplicatedTcpService:
 
     @property
     def live_replicas(self) -> list[ReplicaHandle]:
+        """Replicas actually serving: a joiner still catching up is
+        excluded (it is not in the multicast set yet)."""
         return [
             h
             for h in self.replicas
-            if not h.ft_port.shut_down and not h.node.host_server.crashed
+            if not h.ft_port.shut_down
+            and not h.ft_port.joining
+            and not h.node.host_server.crashed
         ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.apps.echo import echo_server_factory
 from repro.core import DetectorParams

@@ -23,6 +23,7 @@ from . import (
     fragmentation,
     ordered_channel,
     receive_path,
+    recovery,
     scaling_benefit,
 )
 
@@ -36,6 +37,7 @@ EXPERIMENTS = [
     ("A6 ordered acknowledgement channel", ordered_channel),
     ("A7 failure-detector comparison", detector_comparison),
     ("D2 service scaling (load diffusion)", scaling_benefit),
+    ("D3 autonomous recovery (live state transfer)", recovery),
 ]
 
 

@@ -21,13 +21,13 @@ Four configurations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.apps.ttcp import TTCP_TCP_OPTIONS, TtcpResult, TtcpSender, ttcp_sink_factory
 from repro.core import DetectorParams, FtNode, ReplicatedTcpService
 from repro.hydranet import HostServer, Redirector, RedirectorDaemon
-from repro.netsim import Host, HostProfile, Router, Simulator, Topology
+from repro.netsim import Host, HostProfile, Simulator, Topology
 from repro.sockets import Node, node_for
 from repro.tcp.options import TcpOptions
 
@@ -137,6 +137,9 @@ class FtSystem:
     service: ReplicatedTcpService
     service_ip: str
     port: int
+    #: Idle, fully-equipped nodes not bound to the service — feed these
+    #: to a :class:`repro.recovery.SparePool` for recovery experiments.
+    spare_nodes: list[FtNode] = field(default_factory=list)
 
     def run_until(self, t: float) -> None:
         self.sim.run(until=t)
@@ -153,15 +156,19 @@ def build_ft_system(
     port: int = TTCP_PORT,
     tcp_options: Optional[TcpOptions] = None,
     ordered_channel: bool = False,
+    n_spares: int = 0,
 ) -> FtSystem:
-    """General FT deployment builder (era profiles, Figure-4 topology)."""
+    """General FT deployment builder (era profiles, Figure-4 topology).
+
+    ``n_spares`` adds idle host servers (daemon + ack endpoint wired,
+    nothing bound) for the recovery subsystem's spare pool."""
     sim = Simulator(seed=seed)
     topo = Topology(sim)
     client = topo.add_host("client", CLIENT_486)
     redirector = Redirector(sim, "redirector", REDIRECTOR_486)
     topo.add(redirector)
     servers = []
-    for i in range(1 + n_backups):
+    for i in range(1 + n_backups + n_spares):
         hs = HostServer(sim, f"hs_{i}", SERVER_P120)
         topo.add(hs)
         servers.append(hs)
@@ -174,6 +181,7 @@ def build_ft_system(
     nodes = [
         FtNode(hs, redirector.ip, ordered_channel=ordered_channel) for hs in servers
     ]
+    spare_nodes = nodes[1 + n_backups :]
     service = ReplicatedTcpService(
         SERVICE_IP,
         port,
@@ -182,7 +190,7 @@ def build_ft_system(
         tcp_options=tcp_options or TTCP_TCP_OPTIONS,
     )
     service.add_primary(nodes[0])
-    for node in nodes[1:]:
+    for node in nodes[1 : 1 + n_backups]:
         service.add_backup(node)
     sim.run(until=2.0)  # registration + chain setup
     client_node = node_for(client, tcp_options or TTCP_TCP_OPTIONS)
@@ -198,6 +206,7 @@ def build_ft_system(
         service,
         SERVICE_IP,
         port,
+        spare_nodes,
     )
 
 

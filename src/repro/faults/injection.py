@@ -6,7 +6,7 @@ fault plan up front and stay deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.netsim.host import Host
@@ -53,6 +53,20 @@ class FaultPlan:
         """Transient outage (e.g. reboot): crash then recover."""
         self.crash_at(host, at)
         self.recover_at(host, at + duration)
+
+    def crash_cycle(
+        self, host: Host, start: float, period: float, downtime: float, count: int
+    ) -> None:
+        """Repeated crash/recover cycles: down for ``downtime`` at the
+        start of each ``period``, ``count`` times — the workload of the
+        recovery experiment (and chaos tests) without hand-unrolled
+        schedules."""
+        if downtime >= period:
+            raise ValueError(
+                f"downtime ({downtime}) must be shorter than period ({period})"
+            )
+        for i in range(count):
+            self.crash_for(host, start + i * period, downtime)
 
     # -- link faults --------------------------------------------------------
 

@@ -16,15 +16,18 @@ from repro.netsim.simulator import Simulator
 
 from .host_server import HostServer
 from .mgmt import (
-    Ack,
+    ChainSplice,
     ChainUpdate,
     FailureReport,
+    JoinReady,
+    JoinRequest,
     MGMT_PORT,
     MgmtMessage,
     Ping,
     Pong,
     Register,
     ReliableUdp,
+    StateSnapshot,
     Unregister,
 )
 from .redirector import Redirector, ServiceKey
@@ -95,6 +98,12 @@ class RedirectorDaemon:
         self._report_history: dict[tuple[ServiceKey, IPAddress], list[float]] = {}
         self.reconfigurations = 0
         self.failovers = 0
+        #: Wired by the recovery manager (EXTENSION, DESIGN.md §8):
+        #: observe membership changes / failure reports / join
+        #: completions without owning the reconfiguration machinery.
+        self.on_membership_change: Optional[Callable[[ServiceKey], None]] = None
+        self.on_failure_report: Optional[Callable[[FailureReport], None]] = None
+        self.on_join_ready: Optional[Callable[[JoinReady], None]] = None
 
     # -- message handling ------------------------------------------------
 
@@ -113,6 +122,9 @@ class RedirectorDaemon:
             self._handle_pong(message, src_ip)
         elif isinstance(message, TableSync):
             self._handle_table_sync(message)
+        elif isinstance(message, JoinReady):
+            if self.on_join_ready is not None:
+                self.on_join_ready(message)
 
     def _handle_register(self, msg: Register) -> None:
         # A re-registering replica withdraws any stale Shutdown still
@@ -176,6 +188,8 @@ class RedirectorDaemon:
         entry = self.redirector.table.get(key)
         if entry is None or not entry.fault_tolerant:
             return
+        if self.on_failure_report is not None:
+            self.on_failure_report(msg)
         # Congestion rule: a suspect that stays "alive" but keeps being
         # reported gets shut down anyway (fail-stop for spurious
         # unavailability, paper §1/§4.4).
@@ -244,6 +258,8 @@ class RedirectorDaemon:
     def _push_chain_updates(self, key: ServiceKey) -> None:
         self._sync_peers(key)
         entry = self.redirector.table.get(key)
+        if self.on_membership_change is not None:
+            self.on_membership_change(key)
         if entry is None or not entry.fault_tolerant:
             return
         replicas = entry.replicas
@@ -256,6 +272,41 @@ class RedirectorDaemon:
                 is_primary=i == 0,
             )
             self.channel.send(update, replica)
+
+    # -- live join (recovery subsystem, EXTENSION) --------------------------
+
+    def splice_backup(self, service_ip, port: int, joiner_ip, conn_keys=()) -> bool:
+        """Second phase of the two-phase cut-over: atomically extend
+        the chain with a caught-up joiner as the new last backup.
+
+        Installs the joiner in the redirector table (the multicast set),
+        re-chains everyone, and sends :class:`ChainSplice` to the old
+        tail and the joiner so the per-connection gates cut over."""
+        key = ServiceKey(as_address(service_ip), port)
+        joiner_ip = as_address(joiner_ip)
+        entry = self.redirector.table.get(key)
+        if entry is None or not entry.fault_tolerant or not entry.replicas:
+            return False
+        if joiner_ip in entry.replicas:
+            return False
+        predecessor = entry.replicas[-1]
+        # A recovered server re-joining must not be killed by a stale
+        # Shutdown still being retried toward it.
+        stale = self._pending_shutdowns.pop((key, joiner_ip), None)
+        if stale is not None:
+            self.channel.cancel(stale)
+        self.redirector.install_ft_backup(key.ip, key.port, joiner_ip)
+        self._push_chain_updates(key)
+        splice = dict(
+            service_ip=key.ip,
+            port=key.port,
+            predecessor_ip=predecessor,
+            joiner_ip=joiner_ip,
+            conn_keys=tuple(conn_keys),
+        )
+        self.channel.send(ChainSplice(**splice), predecessor)
+        self.channel.send(ChainSplice(**splice), joiner_ip)
+        return True
 
 
 class HostServerDaemon:
@@ -271,6 +322,9 @@ class HostServerDaemon:
         #: Wired by the ft layer (repro.core.service).
         self.on_chain_update: Optional[Callable[[ChainUpdate], None]] = None
         self.on_shutdown: Optional[Callable[[Shutdown], None]] = None
+        self.on_join_request: Optional[Callable[[JoinRequest], None]] = None
+        self.on_state_snapshot: Optional[Callable[[StateSnapshot], None]] = None
+        self.on_chain_splice: Optional[Callable[[ChainSplice], None]] = None
         self.chain_updates_received = 0
         self.failure_reports_sent = 0
 
@@ -300,6 +354,25 @@ class HostServerDaemon:
             self.redirector_ip,
         )
 
+    def send_snapshot(self, snapshot: StateSnapshot, dst_ip) -> None:
+        """Donor → joiner: ship a base snapshot or catch-up delta."""
+        self.channel.send(snapshot, as_address(dst_ip))
+
+    def join_ready(
+        self, service_ip, port: int, conn_keys=(), bytes_received: int = 0
+    ) -> None:
+        """Joiner → recovery manager: catch-up installed, splice me in."""
+        self.channel.send(
+            JoinReady(
+                as_address(service_ip),
+                port,
+                self.ip,
+                tuple(conn_keys),
+                bytes_received,
+            ),
+            self.redirector_ip,
+        )
+
     # -- incoming ---------------------------------------------------------
 
     def _on_message(self, message: MgmtMessage, src_ip: IPAddress, src_port: int) -> None:
@@ -312,3 +385,12 @@ class HostServerDaemon:
         elif isinstance(message, Shutdown):
             if self.on_shutdown is not None:
                 self.on_shutdown(message)
+        elif isinstance(message, JoinRequest):
+            if self.on_join_request is not None:
+                self.on_join_request(message)
+        elif isinstance(message, StateSnapshot):
+            if self.on_state_snapshot is not None:
+                self.on_state_snapshot(message)
+        elif isinstance(message, ChainSplice):
+            if self.on_chain_splice is not None:
+                self.on_chain_splice(message)

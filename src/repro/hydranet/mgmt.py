@@ -19,6 +19,21 @@ Messages
 * ``Ping``/``Pong`` — redirector probes replica liveness during
   reconfiguration (deliberately unreliable).
 * ``Ack`` — reliable-layer acknowledgement.
+
+Live-join messages (EXTENSION — the recovery subsystem, see DESIGN.md
+§8; the paper's §6 lists re-integration of recovered servers as future
+work):
+
+* ``JoinRequest`` — recovery manager → donor replica: start feeding a
+  joining replica the state of the in-flight connections.
+* ``StateSnapshot`` — donor → joiner: per-connection ft-TCP state plus
+  the client byte stream so far (``delta=True`` for the incremental
+  catch-up stream that follows the base snapshot).
+* ``JoinReady`` — joiner → recovery manager: catch-up installed; the
+  chain can be extended.
+* ``ChainSplice`` — recovery manager → old tail + joiner: atomically
+  extend the acknowledgement-channel chain with the joiner as the new
+  last backup (second phase of the two-phase cut-over).
 """
 
 from __future__ import annotations
@@ -93,6 +108,105 @@ class Pong(MgmtMessage):
 class Ack(MgmtMessage):
     acked_id: int = 0
     wire_size = 12
+
+
+@dataclass
+class ConnSnapshot:
+    """Transferable ft-TCP state of one in-flight connection.
+
+    ``input`` is a slice of the client byte stream starting at stream
+    offset ``input_start``.  The joiner replays it through its
+    deterministic server program to regenerate the response stream, so
+    no response bytes travel on the wire.
+
+    A base snapshot is *chunked*: a long catch-up log would exceed what
+    one datagram can carry across the era links (IP fragments of a
+    single huge datagram overrun the bottleneck queue and the message
+    can never reassemble), so the donor ships it as many snapshots of
+    at most a chunk each.  ``input_total`` carries the log length at
+    the snapshot cut on every piece of a base transfer; the joiner
+    replies JoinReady only once its contiguous stream reaches that
+    mark.  Plain post-snapshot deltas leave it at -1.
+    """
+
+    client_ip: IPAddress
+    client_port: int
+    iss: int
+    irs: int
+    input: bytes
+    input_start: int = 0
+    #: Response stream offset the client has acknowledged (donor's
+    #: ``snd_una``) — replayed response below this needs no retention.
+    client_acked: int = 0
+    peer_window: int = 0
+    #: Catch-up log length at the base-snapshot cut (-1 outside one).
+    input_total: int = -1
+
+    #: Fixed per-connection header on the wire, before the input bytes.
+    HEADER_SIZE = 44
+
+    @property
+    def wire_size(self) -> int:
+        return self.HEADER_SIZE + len(self.input)
+
+    @property
+    def client_key(self) -> tuple[IPAddress, int]:
+        # Normalised so it matches FtPort.states keys regardless of how
+        # the snapshot's client_ip was spelled.
+        return (as_address(self.client_ip), self.client_port)
+
+
+@dataclass
+class JoinRequest(MgmtMessage):
+    """Recovery manager → donor: feed ``joiner_ip`` the live state."""
+
+    service_ip: IPAddress
+    port: int
+    joiner_ip: IPAddress
+
+
+@dataclass
+class StateSnapshot(MgmtMessage):
+    """Donor → joiner: connection state (base snapshot or delta)."""
+
+    service_ip: IPAddress
+    port: int
+    donor_ip: IPAddress
+    conns: tuple = ()
+    delta: bool = False
+
+    def __post_init__(self):
+        # Instance attribute shadows the 48-byte class default: a
+        # snapshot's wire size is dominated by the shipped byte stream.
+        self.wire_size = 48 + sum(c.wire_size for c in self.conns)
+
+
+@dataclass
+class JoinReady(MgmtMessage):
+    """Joiner → recovery manager: base snapshot installed."""
+
+    service_ip: IPAddress
+    port: int
+    joiner_ip: IPAddress
+    conn_keys: tuple = ()
+    bytes_received: int = 0
+
+
+@dataclass
+class ChainSplice(MgmtMessage):
+    """Recovery manager → old tail and joiner: extend the chain.
+
+    The old tail starts gating the listed in-flight connections on the
+    joiner (which holds live state for exactly those connections); the
+    joiner learns its predecessor and announces its progress on the
+    acknowledgement channel.
+    """
+
+    service_ip: IPAddress
+    port: int
+    predecessor_ip: IPAddress
+    joiner_ip: IPAddress
+    conn_keys: tuple = ()
 
 
 class ReliableUdp:

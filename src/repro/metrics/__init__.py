@@ -1,6 +1,7 @@
 """Measurement utilities for the experiment harness."""
 
 from .connstats import ConnectionReport, report_for
+from .recovery import DegreeTimeline, RecoveryIncident, summarize_incidents
 from .stats import Summary, ThroughputMeter, percentile
 from .tables import Table, format_comparison
 from .traceview import FlowKey, capture_at, flows, summarize, tcp_records, time_sequence
@@ -8,6 +9,9 @@ from .traceview import FlowKey, capture_at, flows, summarize, tcp_records, time_
 __all__ = [
     "ConnectionReport",
     "report_for",
+    "DegreeTimeline",
+    "RecoveryIncident",
+    "summarize_incidents",
     "Summary",
     "ThroughputMeter",
     "percentile",

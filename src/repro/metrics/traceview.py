@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from repro.netsim.packet import IPPacket, Protocol, TCPSegment
+from repro.netsim.packet import IPPacket, TCPSegment
 from repro.netsim.trace import Tracer, TraceRecord
 from repro.tcp.seqnum import seq_diff
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from .addressing import AddressError, IPAddress, Network, as_address
+from .addressing import AddressError, IPAddress, Network
 from .host import Host, HostProfile, MODERN
 from .link import Link
 from .nic import NIC

@@ -1,0 +1,32 @@
+"""Autonomous redundancy restoration with live state transfer
+(EXTENSION — DESIGN.md §8; the paper's §6 lists re-integration of
+recovered servers as future work).
+
+Three pieces:
+
+* :class:`SparePool` — idle, fully-equipped host servers to draft
+  replacements from;
+* :mod:`~repro.recovery.state_transfer` — checkpoint-plus-replay of
+  in-flight connections from the chain tail to the joiner;
+* :class:`RecoveryManager` — the control loop at the redirector's
+  management plane that notices degraded degree, runs the live-join
+  protocol, and splices the replacement in as the new last backup.
+"""
+
+from .manager import RecoveryManager
+from .spare_pool import SparePool
+from .state_transfer import (
+    apply_delta,
+    install_connection,
+    install_snapshot,
+    snapshot_connections,
+)
+
+__all__ = [
+    "RecoveryManager",
+    "SparePool",
+    "apply_delta",
+    "install_connection",
+    "install_snapshot",
+    "snapshot_connections",
+]

@@ -1,0 +1,50 @@
+"""The spare pool: idle, fully-equipped host servers kept warm so the
+recovery manager can draft a replacement replica without operator help.
+
+A spare is an :class:`~repro.core.service.FtNode` that is *not* bound
+to the service — it runs the management daemon and has an
+acknowledgement-channel endpoint, but holds no connections and is not
+in any redirector table.  Drafting pops it from the pool; returning a
+recovered (and decommissioned) server puts it back into rotation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.core.service import FtNode
+
+
+class SparePool:
+    """FIFO pool of idle replacement nodes."""
+
+    def __init__(self, nodes: Iterable["FtNode"] = ()):
+        self._nodes: list["FtNode"] = list(nodes)
+        self.drafted = 0
+
+    def add(self, node: "FtNode") -> None:
+        if node not in self._nodes:
+            self._nodes.append(node)
+
+    def draft(self) -> Optional["FtNode"]:
+        """Pop the first spare whose host is actually up (a crashed
+        spare is useless and stays pooled until it recovers)."""
+        for i, node in enumerate(self._nodes):
+            if not node.host_server.crashed:
+                self.drafted += 1
+                return self._nodes.pop(i)
+        return None
+
+    @property
+    def available(self) -> int:
+        return sum(1 for n in self._nodes if not n.host_server.crashed)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:
+        return f"<SparePool {self.available}/{len(self._nodes)} available>"

@@ -19,7 +19,7 @@ from repro.netsim.packet import IPPacket, Protocol, TCPFlags, TCPSegment
 
 from .options import TcpOptions
 from .seqnum import seq_add
-from .tcb import TcpConnection, TcpError, TcpState
+from .tcb import TcpConnection, TcpError
 
 EPHEMERAL_PORT_START = 32768
 EPHEMERAL_PORT_END = 49151

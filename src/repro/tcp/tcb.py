@@ -154,6 +154,10 @@ class TcpConnection:
         self.transmit_limit: Optional[Callable[[], Optional[int]]] = None
         self.output_filter: Optional[Callable[[TCPSegment], bool]] = None
         self.on_deposit: Optional[Callable[[int], None]] = None
+        #: Like ``on_deposit`` but with the bytes: called as
+        #: ``on_deposit_data(start_offset, data)`` for every deposit —
+        #: the ft layer's catch-up log records the client stream here.
+        self.on_deposit_data: Optional[Callable[[int, bytes], None]] = None
         self.on_retransmission_observed: Optional[Callable[[TCPSegment], None]] = None
         #: Fired when this end retransmits (its data is not being
         #: acknowledged) — the other half of the paper's failure signal:
@@ -840,9 +844,12 @@ class TcpConnection:
             target = min(target, ceiling)
         n = target - self.reassembler.take_point
         if n > 0:
+            start = self.reassembler.take_point
             data = self.reassembler.take(n)
             self.socket_buffer.deposit(data)
             progressed = True
+            if self.on_deposit_data is not None:
+                self.on_deposit_data(start, data)
             if self.on_deposit is not None:
                 self.on_deposit(self.ack_point)
             if self.on_data is not None and self.socket_buffer.size:

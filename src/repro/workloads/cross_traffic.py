@@ -5,9 +5,7 @@ can study HydraNet-FT under congestion rather than on an idle network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-from repro.netsim.addressing import as_address
 from repro.netsim.host import Host
 from repro.sockets.api import node_for
 

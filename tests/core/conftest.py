@@ -52,6 +52,7 @@ class FtTestbed:
         detector=None,
         factory=echo_factory,
         tcp_options=None,
+        n_spares=0,
         **link_kw,
     ):
         self.sim = Simulator(seed=seed)
@@ -63,7 +64,7 @@ class FtTestbed:
         defaults.update(link_kw)
         self.topo.connect(self.client, self.redirector, **defaults)
         self.servers = []
-        for i in range(1 + n_backups):
+        for i in range(1 + n_backups + n_spares):
             hs = HostServer(self.sim, f"hs_{chr(97 + i)}", ZERO_COST, software_overhead=0.0)
             self.topo.add(hs)
             self.topo.connect(self.redirector, hs, **defaults)
@@ -73,6 +74,9 @@ class FtTestbed:
 
         self.redirector_daemon = RedirectorDaemon(self.redirector)
         self.nodes = [FtNode(hs, self.redirector.ip) for hs in self.servers]
+        # Idle nodes for the recovery subsystem's spare pool (never
+        # bound to the service here).
+        self.spare_nodes = self.nodes[1 + n_backups :]
         self.factories = {}
 
         def wrapped_factory(host_server):
@@ -88,7 +92,9 @@ class FtTestbed:
             tcp_options=tcp_options,
         )
         self.primary_handle = self.service.add_primary(self.nodes[0])
-        self.backup_handles = [self.service.add_backup(n) for n in self.nodes[1:]]
+        self.backup_handles = [
+            self.service.add_backup(n) for n in self.nodes[1 : 1 + n_backups]
+        ]
         # Let registration and chain setup settle.
         self.sim.run(until=2.0)
         self.client_node = node_for(self.client)

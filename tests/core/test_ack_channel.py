@@ -2,7 +2,6 @@
 trade-off: lost channel messages cost client retransmissions but never
 correctness."""
 
-import pytest
 
 from repro.core import ACK_CHANNEL_PORT, AckChannelMessage
 from repro.netsim import IPAddress

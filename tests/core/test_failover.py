@@ -1,12 +1,10 @@
 """Fail-over: crash detection, reconfiguration, promotion, and client
 transparency (paper §4.3-§4.4)."""
 
-import pytest
 
-from repro.core import DetectorParams, PortMode
 from repro.tcp import TcpState
 
-from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+from .conftest import SERVICE_IP, SERVICE_PORT
 
 
 def streaming_client(testbed, total=40_000, chunk=2048):

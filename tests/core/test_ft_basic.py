@@ -5,7 +5,7 @@ import pytest
 from repro.core import PortMode
 from repro.tcp import TcpState
 
-from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+from .conftest import SERVICE_IP, SERVICE_PORT
 
 
 def test_chain_setup_after_registration(testbed):

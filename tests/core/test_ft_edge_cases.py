@@ -1,9 +1,8 @@
 """FT edge cases: message buffering, concurrent services, wrapping
 sequence numbers, state pruning, and gating rules for late joiners."""
 
-import pytest
 
-from repro.core import AckChannelMessage, DetectorParams, FtNode, PortMode, ReplicatedTcpService
+from repro.core import AckChannelMessage, DetectorParams, ReplicatedTcpService
 from repro.tcp import TcpState
 
 from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed, echo_factory

@@ -1,10 +1,9 @@
 """Tests for heartbeat-based failure detection (ablation A7)."""
 
-import pytest
 
 from repro.apps.echo import echo_server_factory
 from repro.core import DetectorParams
-from repro.core.heartbeat import HeartbeatDetector, enable_heartbeats
+from repro.core.heartbeat import enable_heartbeats
 from repro.experiments.testbeds import build_ft_system
 
 

@@ -1,6 +1,5 @@
 """Tests for the reliable in-order acknowledgement channel (A6)."""
 
-import pytest
 
 from repro.core import DetectorParams
 from repro.core.ack_channel import (

@@ -6,7 +6,7 @@ import pytest
 from repro.core import PortMode
 from repro.tcp import TcpState
 
-from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+from .conftest import SERVICE_IP, SERVICE_PORT
 
 
 def crash_and_failover(testbed):
@@ -122,3 +122,39 @@ def test_voluntary_leave_then_rejoin(testbed):
     assert bytes(got) == b"back in the chain"
     states = list(rejoined.ft_port.states.values())
     assert states and states[0].conn.socket_buffer.total_deposited > 0
+
+
+def test_live_recommission_catches_up_inflight_connections(testbed):
+    """With a RecoveryManager attached, recommission() runs the live
+    join: the rejoined replica also holds the connections that were in
+    flight across the crash, caught up via state transfer."""
+    from repro.recovery import RecoveryManager, SparePool
+
+    manager = RecoveryManager(
+        testbed.service, testbed.redirector_daemon, SparePool(), target_degree=2
+    )
+    conn, got = crash_and_failover(testbed)
+    assert bytes(got) == b"x" * 20000
+    testbed.primary_server.recover()
+    new_handle = testbed.service.recommission(testbed.primary_handle)
+    assert new_handle is not None
+    assert new_handle.ft_port.joining
+    testbed.run_for(10.0)
+
+    # Spliced in as last backup...
+    entry = testbed.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+    assert entry.replicas == [testbed.servers[1].ip, testbed.servers[0].ip]
+    assert not new_handle.ft_port.joining
+    assert manager.joins_completed == 1
+    # ...holding the in-flight connection, fully caught up.
+    states = list(new_handle.ft_port.states.values())
+    assert len(states) == 1
+    assert states[0].conn.socket_buffer.total_deposited == 20000
+    assert new_handle.ft_port.connections_transferred == 1
+
+    # New bytes on the old connection reach the rejoined replica too.
+    more = b"y" * 5000
+    conn.send(more)
+    testbed.run_for(10.0)
+    assert bytes(got) == b"x" * 20000 + more
+    assert states[0].conn.socket_buffer.total_deposited == 25000

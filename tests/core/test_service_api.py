@@ -1,10 +1,9 @@
 """Tests for the high-level ReplicatedTcpService API surface."""
 
-import pytest
 
 from repro.core import PortMode
 
-from .conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+from .conftest import SERVICE_IP
 
 
 def test_replica_handles_expose_roles(testbed):

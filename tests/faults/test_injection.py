@@ -3,7 +3,7 @@
 import pytest
 
 from repro.faults import FaultPlan
-from repro.netsim import IPAddress, IPPacket, Protocol, RawData, Simulator, Topology, ZERO_COST
+from repro.netsim import IPPacket, Protocol, RawData, Simulator, Topology, ZERO_COST
 
 
 @pytest.fixture()
@@ -105,3 +105,21 @@ def test_event_log_ordering(net):
     sim.run()
     times = [e.time for e in plan.log]
     assert times == sorted(times)
+
+
+def test_crash_cycle_schedules_repeated_outages(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.crash_cycle(b, start=1.0, period=4.0, downtime=1.0, count=3)
+    sim.run(until=20.0)
+    assert [e.time for e in plan.events_of("crash")] == [1.0, 5.0, 9.0]
+    assert [e.time for e in plan.events_of("recover")] == [2.0, 6.0, 10.0]
+    assert all(e.target == "b" for e in plan.log)
+    assert not b.crashed
+
+
+def test_crash_cycle_rejects_downtime_longer_than_period(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    with pytest.raises(ValueError):
+        plan.crash_cycle(b, start=0.0, period=2.0, downtime=2.0, count=1)

@@ -1,6 +1,5 @@
 """Host-server and redirector behavioural details."""
 
-import pytest
 
 from repro.hydranet import (
     HOST_SERVER_SOFTWARE_OVERHEAD,
@@ -8,7 +7,7 @@ from repro.hydranet import (
     REDIRECTOR_SOFTWARE_OVERHEAD,
     Redirector,
 )
-from repro.netsim import IPAddress, Simulator, Topology, ZERO_COST
+from repro.netsim import Simulator
 from repro.sockets import node_for
 
 from .conftest import HydranetNet

@@ -3,17 +3,12 @@
 import pytest
 
 from repro.hydranet import (
-    ChainUpdate,
-    FailureReport,
     HostServerDaemon,
     MGMT_PORT,
-    Ping,
-    Pong,
     Register,
     RedirectorDaemon,
     ReliableUdp,
 )
-from repro.hydranet.daemons import Shutdown
 from repro.sockets import node_for
 
 from .conftest import HydranetNet

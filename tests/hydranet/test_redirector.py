@@ -4,7 +4,7 @@ scaling redirection, and FT multicast."""
 import pytest
 
 from repro.hydranet import RedirectorError
-from repro.netsim import IPAddress, Tracer
+from repro.netsim import Tracer
 from repro.sockets import node_for
 
 from .conftest import HydranetNet

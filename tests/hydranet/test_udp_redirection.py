@@ -2,7 +2,6 @@
 transport-level SAP, so UDP ports redirect (scaling) and multicast (FT
 entries) just like TCP ones."""
 
-import pytest
 
 from repro.sockets import node_for
 

@@ -6,7 +6,6 @@ trusting the fail-over machinery: byte streams stay exact, clients see
 no connection events, and the replica set converges after every wave.
 """
 
-import pytest
 
 from repro.apps.echo import echo_server_factory
 from repro.core import DetectorParams

@@ -2,7 +2,6 @@
 emphasizes — "the network link to the cluster may fail or simply be
 temporarily congested" — handled by the same detection/fail-over path."""
 
-import pytest
 
 from repro.core import DetectorParams
 from repro.experiments.testbeds import build_ft_system

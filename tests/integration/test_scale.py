@@ -1,7 +1,6 @@
 """Scale: many concurrent clients and connections through one
 fault-tolerant service, with and without a mid-run fail-over."""
 
-import pytest
 
 from repro.apps.echo import echo_server_factory
 from repro.core import DetectorParams, FtNode, ReplicatedTcpService

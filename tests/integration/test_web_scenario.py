@@ -3,7 +3,6 @@ scaling on one host server while other ports pass through to the
 origin, and a fault-tolerant web service surviving a crash under a
 multi-client workload."""
 
-import pytest
 
 from repro.apps import HttpClient, httpd_factory, install_httpd, render_object
 from repro.core import DetectorParams, FtNode, ReplicatedTcpService

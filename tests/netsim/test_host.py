@@ -7,10 +7,8 @@ from repro.netsim import (
     HostProfile,
     IPAddress,
     IPPacket,
-    Network,
     Protocol,
     RawData,
-    Router,
     Simulator,
     Topology,
     ZERO_COST,

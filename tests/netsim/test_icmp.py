@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.ping import Ping, Traceroute, icmp_stack_for
 from repro.netsim import Simulator, Topology, ZERO_COST
-from repro.netsim.icmp import IcmpStack, IcmpType, enable_icmp_errors
+from repro.netsim.icmp import IcmpType, enable_icmp_errors
 
 
 @pytest.fixture()

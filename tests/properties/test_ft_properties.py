@@ -10,7 +10,6 @@ The invariants (DESIGN.md §6):
 * replica byte streams are identical prefixes of each other.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import DetectorParams

@@ -6,7 +6,6 @@ reliable delivery of the exact byte stream under arbitrary write
 patterns, loss, and delay, and deterministic replay.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.netsim import Simulator, Topology, ZERO_COST

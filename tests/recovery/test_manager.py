@@ -1,0 +1,150 @@
+"""RecoveryManager behaviour: autonomous drafting, pool exhaustion,
+join timeout/abort, and spare recycling — on the fast ZERO_COST testbed.
+"""
+
+from repro.core import DetectorParams
+from repro.recovery import RecoveryManager, SparePool
+
+from ..core.conftest import SERVICE_IP, SERVICE_PORT, FtTestbed
+
+
+def make_testbed(n_spares=1):
+    return FtTestbed(
+        n_backups=1,
+        n_spares=n_spares,
+        detector=DetectorParams(threshold=3, cooldown=1.0),
+    )
+
+
+def attach_manager(tb, **kw):
+    kw.setdefault("target_degree", 2)
+    return RecoveryManager(
+        tb.service,
+        tb.redirector_daemon,
+        SparePool(tb.spare_nodes),
+        **kw,
+    )
+
+
+def pump(tb, conn, sent, chunks=200, size=400, interval=0.05):
+    """Continuous client traffic so the detector sees retransmissions."""
+    counter = [0]
+
+    def tick():
+        if counter[0] >= chunks:
+            return
+        data = bytes([counter[0] % 256]) * size
+        conn.send(data)
+        sent.extend(data)
+        counter[0] += 1
+        tb.sim.schedule(interval, tick)
+
+    tb.sim.schedule(0.0, tick)
+
+
+def entry_for(tb):
+    return tb.redirector_daemon.redirector.entry_for(SERVICE_IP, SERVICE_PORT)
+
+
+def test_manager_drafts_spare_after_crash():
+    tb = make_testbed()
+    manager = attach_manager(tb)
+    conn = tb.connect()
+    received = bytearray()
+    conn.on_data = received.extend
+    sent = bytearray()
+    pump(tb, conn, sent)
+    tb.run_for(1.5)
+    tb.primary_server.crash()
+    tb.run(until=60.0)
+
+    spare = tb.spare_nodes[0]
+    assert manager.joins_started == 1
+    assert manager.joins_completed == 1
+    assert manager.joins_aborted == 0
+    # Backup promoted, spare spliced in as the new (last) backup.
+    assert list(entry_for(tb).replicas) == [tb.nodes[1].ip, spare.ip]
+    assert len(manager.incidents) == 1
+    incident = manager.incidents[0]
+    assert incident.mttr > 0
+    assert incident.connections_transferred == 1
+    assert incident.transfer_bytes > 0
+    # The client's stream survived both the failover and the join.
+    assert bytes(received) == bytes(sent)
+    assert spare not in manager.spares
+
+
+def test_no_spare_leaves_degree_degraded_then_recycles():
+    tb = make_testbed(n_spares=0)
+    manager = attach_manager(tb)
+    conn = tb.connect()
+    conn.on_data = lambda data: None
+    sent = bytearray()
+    pump(tb, conn, sent, chunks=100)
+    tb.run_for(1.5)
+    tb.primary_server.crash()
+    tb.run(until=20.0)
+
+    assert manager.joins_started == 0
+    assert len(entry_for(tb).replicas) == 1
+    assert manager.timeline.degree_at(tb.sim.now) == 1
+
+    # The crashed node recovers and is returned to the pool; the next
+    # poll drafts it and restores the target degree.
+    tb.primary_server.recover()
+    manager.return_spare(tb.nodes[0])
+    tb.run(until=40.0)
+    assert manager.joins_completed == 1
+    assert list(entry_for(tb).replicas) == [tb.nodes[1].ip, tb.nodes[0].ip]
+    assert manager.timeline.degree_at(tb.sim.now) == 2
+
+
+def test_join_timeout_aborts_and_repools():
+    tb = make_testbed()
+    manager = attach_manager(tb, join_timeout=3.0)
+    conn = tb.connect()
+    conn.on_data = lambda data: None
+    sent = bytearray()
+    pump(tb, conn, sent, chunks=400)
+    tb.run_for(1.5)
+    spare = tb.spare_nodes[0]
+    tb.primary_server.crash()
+
+    # Kill the joiner the instant the manager drafts it, before the
+    # donor's snapshot can reach it — JoinReady never arrives.
+    orig_start = manager._start_join
+
+    def start_then_crash(node):
+        handle = orig_start(node)
+        if handle is not None:
+            spare.host_server.crash()
+        return handle
+
+    manager._start_join = start_then_crash
+    tb.run(until=40.0)
+
+    assert manager.joins_started >= 1
+    assert manager.joins_aborted >= 1
+    assert manager.joins_completed == 0
+    # The (still crashed) spare went back to the pool, undrafted.
+    assert spare in manager.spares
+    assert len(entry_for(tb).replicas) == 1
+
+
+def test_target_degree_satisfied_is_a_noop():
+    tb = make_testbed()
+    manager = attach_manager(tb)
+    tb.run_for(5.0)
+    assert manager.joins_started == 0
+    assert manager.join_in_progress is False
+    assert manager.spares.available == 1
+    assert manager.timeline.degree_at(tb.sim.now) == 2
+
+
+def test_stop_halts_polling():
+    tb = make_testbed()
+    manager = attach_manager(tb)
+    manager.stop()
+    tb.primary_server.crash()
+    tb.run_for(15.0)
+    assert manager.joins_started == 0

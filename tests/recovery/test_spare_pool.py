@@ -1,0 +1,59 @@
+"""Unit tests for the recovery subsystem's spare pool."""
+
+from repro.recovery import SparePool
+
+
+class FakeHost:
+    def __init__(self, crashed=False):
+        self.crashed = crashed
+
+
+class FakeNode:
+    """SparePool only looks at ``node.host_server.crashed``."""
+
+    def __init__(self, name, crashed=False):
+        self.name = name
+        self.host_server = FakeHost(crashed)
+
+
+def test_draft_is_fifo():
+    a, b = FakeNode("a"), FakeNode("b")
+    pool = SparePool([a, b])
+    assert pool.draft() is a
+    assert pool.draft() is b
+    assert pool.draft() is None
+
+
+def test_draft_skips_crashed_spares():
+    a, b = FakeNode("a", crashed=True), FakeNode("b")
+    pool = SparePool([a, b])
+    assert pool.draft() is b
+    # The crashed spare stays pooled until it recovers.
+    assert a in pool
+    assert pool.draft() is None
+    a.host_server.crashed = False
+    assert pool.draft() is a
+
+
+def test_available_counts_only_healthy():
+    a, b, c = FakeNode("a"), FakeNode("b", crashed=True), FakeNode("c")
+    pool = SparePool([a, b, c])
+    assert len(pool) == 3
+    assert pool.available == 2
+
+
+def test_add_deduplicates():
+    a = FakeNode("a")
+    pool = SparePool()
+    pool.add(a)
+    pool.add(a)
+    assert len(pool) == 1
+
+
+def test_returned_node_rejoins_rotation():
+    a = FakeNode("a")
+    pool = SparePool([a])
+    assert pool.draft() is a
+    pool.add(a)
+    assert pool.draft() is a
+    assert pool.drafted == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tcp import TcpError, TcpOptions, TcpState
+from repro.tcp import TcpError, TcpState
 
 from .conftest import Net, start_echo_server, start_sink_server
 

@@ -1,10 +1,8 @@
 """TCP edge cases: simultaneous close, half-close, TIME_WAIT,
 reordering, tiny windows, wrapping sequence numbers."""
 
-import pytest
 
-from repro.netsim import Simulator, Topology, ZERO_COST
-from repro.tcp import TcpOptions, TcpStack, TcpState
+from repro.tcp import TcpOptions, TcpState
 
 from .conftest import Net, start_sink_server
 

@@ -1,10 +1,9 @@
 """TCP flow control: windows, persist probes, Nagle, delayed ACKs,
 segment-per-write mode, and MSS handling."""
 
-import pytest
 
 from repro.netsim.packet import TCPSegment
-from repro.tcp import TcpOptions, TcpState
+from repro.tcp import TcpOptions
 
 from .conftest import Net, start_sink_server
 

@@ -1,6 +1,5 @@
 """TCP under loss: retransmission, fast retransmit, RTO behaviour."""
 
-import pytest
 
 from repro.tcp import TcpOptions, TcpState
 

@@ -1,7 +1,6 @@
 """Selective acknowledgements (RFC 2018): scoreboard unit tests plus
 end-to-end loss-recovery behaviour with and without SACK."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.netsim.packet import TCPSegment

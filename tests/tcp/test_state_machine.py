@@ -1,10 +1,9 @@
 """Explicit TCP state-transition coverage (the RFC 793 diagram)."""
 
-import pytest
 
 from repro.tcp import TcpState
 
-from .conftest import Net, start_sink_server
+from .conftest import start_sink_server
 
 
 def transition_log(conn, net):

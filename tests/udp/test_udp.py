@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import IPAddress, Simulator, Topology, ZERO_COST
+from repro.netsim import Simulator, Topology, ZERO_COST
 from repro.udp import PortInUseError, UdpError, UdpStack
 
 
