@@ -58,6 +58,14 @@ class RetransmissionDetector:
         self.reports += 1
         self.on_failure()
 
+    @property
+    def last_report_at(self) -> Optional[float]:
+        """Sim time of the most recent report (None before the first).
+        Experiments use this to place detection on the fail-over
+        timeline; the promotion handshake is paced by the same cooldown
+        that rate-limits reports."""
+        return self._last_report
+
     def reset(self) -> None:
         """Forget all history.  This includes the report cooldown: a
         reset detector is factory-fresh, and its first post-reset

@@ -44,7 +44,13 @@ from .replicated_port import DetectorParams, PortMode, ReplicatedPortTable
 if TYPE_CHECKING:
     from repro.hydranet.daemons import HostServerDaemon
     from repro.hydranet.host_server import HostServer
-    from repro.hydranet.mgmt import ChainSplice, ChainUpdate, JoinRequest
+    from repro.hydranet.mgmt import (
+        ChainSplice,
+        ChainUpdate,
+        Demote,
+        JoinRequest,
+        PromotionGrant,
+    )
     from repro.tcp.options import TcpOptions
 
 ClientKey = tuple[IPAddress, int]
@@ -280,8 +286,22 @@ class FtPort:
         self.catchup_bytes_sent = 0
         self.catchup_bytes_received = 0
         self.promotions = 0
+        self.demotions = 0
         self.chain_updates_applied = 0
         self._last_liveness_report: Optional[float] = None
+        #: View epoch this replica believes it is in (DESIGN.md §9).
+        #: The primary stamps it on every client-bound segment; the
+        #: redirector fences output stamped with an older epoch.
+        self.epoch = 0
+        #: (epoch, seq) of the newest chain layout applied — the
+        #: reliable mgmt layer is unordered, older layouts are ignored.
+        self._chain_stamp: tuple[int, int] = (-1, -1)
+        #: Epoch of a promotion awaiting the redirector's grant.  A
+        #: backup never enters primary mode without one.
+        self._pending_promotion: Optional[int] = None
+        #: Service-layer hook fired after a Demote fail-stopped this
+        #: replica (the recovery subsystem rejoins the node as backup).
+        self.on_demoted: Optional[Callable[[], None]] = None
         ack_endpoint.register(self.service_ip, port, self._on_ack_channel)
         # Active liveness check: a failure partitions the acknowledgement
         # channel (paper §4.4); when connections are blocked on a silent
@@ -366,7 +386,10 @@ class FtPort:
         if self.shut_down:
             return True  # a removed replica is silent
         if self.is_primary:
-            return False  # the primary talks to the client normally
+            # The primary talks to the client normally, stamping its
+            # view epoch so the redirector can fence stale output.
+            segment.epoch = self.epoch
+            return False
         message = AckChannelMessage(
             service_ip=self.service_ip,
             service_port=self.port,
@@ -426,6 +449,17 @@ class FtPort:
         if suspect is not None:
             suspects.append(suspect)
         self.daemon.report_failure(self.service_ip, self.port, suspects)
+        if not self.is_primary and not suspects:
+            # Client retransmissions with no quiet successor point
+            # upstream — the primary is suspect.  Bid for promotion;
+            # primary mode still requires the redirector's grant
+            # (split-brain prevention, DESIGN.md §9).  The detector's
+            # cooldown paces re-bids if the first round gives up.
+            self._request_promotion(
+                self._pending_promotion
+                if self._pending_promotion is not None
+                else self.epoch
+            )
 
     def _liveness_check(self) -> None:
         if self.shut_down or self.host_server.crashed:
@@ -513,6 +547,7 @@ class FtPort:
             donor_ip=self.host_server.ip,
             conns=tuple(base_conns),
             delta=False,
+            epoch=self.epoch,
         )
         self.daemon.send_snapshot(snapshot, joiner_ip)
         self.snapshots_sent += 1
@@ -662,27 +697,101 @@ class FtPort:
     # -- reconfiguration -------------------------------------------------------------
 
     def apply_chain_update(self, update: "ChainUpdate") -> None:
-        """React to the redirector's view of the chain (paper §4.4)."""
+        """React to the redirector's view of the chain (paper §4.4).
+
+        Epoch/seq gate the unordered mgmt layer: a layout older than
+        one already applied is discarded.  A backup named primary does
+        NOT flip modes here — it bids for a :class:`PromotionGrant`
+        and promotes only when the grant arrives (DESIGN.md §9)."""
         if self.shut_down:
             return
+        stamp = (update.epoch, update.seq)
+        if stamp < self._chain_stamp:
+            return  # stale layout overtaken by a newer push
+        self._chain_stamp = stamp
         self.chain_updates_applied += 1
         self.predecessor_ip = update.predecessor_ip
         had_successor = self.has_successor
         self.has_successor = update.has_successor
-        promoted = update.is_primary and not self.is_primary
-        if promoted:
-            self.mode = PortMode.PRIMARY
-            self.promotions += 1
+        if update.is_primary:
+            if self.is_primary:
+                if update.epoch > self.epoch:
+                    # Still the primary but the view advanced past us
+                    # (registration race): re-run the grant handshake
+                    # to adopt the new epoch — until then our stamps
+                    # are stale and the fence holds our output.
+                    self._request_promotion(update.epoch)
+            else:
+                self._request_promotion(update.epoch)
+        else:
+            if update.epoch >= self.epoch:
+                self.epoch = update.epoch
+                self._pending_promotion = None
+                if self.is_primary:
+                    # A newer view names us backup: step down in place
+                    # (we stay a chain member, unlike a Demote).
+                    self.mode = PortMode.BACKUP
+                    self.demotions += 1
         if had_successor and not self.has_successor:
             # Our successor left the set: stop gating existing
             # connections on it.
             for state in self.states.values():
                 state.gated = False
         for state in list(self.states.values()):
-            if promoted:
-                state.conn.kick()
-            else:
-                state.conn.gates_changed()
+            state.conn.gates_changed()
+
+    def _request_promotion(self, epoch: int) -> None:
+        """Ask the redirector for the right to lead ``epoch``."""
+        self._pending_promotion = epoch
+        if self.daemon is None:
+            # Standalone stack (no management plane): there is no
+            # arbiter, promote directly as before.
+            self._enter_primary(epoch)
+            return
+        self.daemon.request_promotion(self.service_ip, self.port, epoch)
+
+    def apply_promotion_grant(self, grant: "PromotionGrant") -> None:
+        """The redirector granted us ``grant.epoch`` — enter primary
+        mode (or, if already primary, adopt the granted epoch)."""
+        if self.shut_down:
+            return
+        if self._pending_promotion is None and not self.is_primary:
+            return  # unsolicited (a stale retry) — ignore
+        if grant.epoch < self.epoch:
+            return
+        self._enter_primary(grant.epoch)
+
+    def _enter_primary(self, epoch: int) -> None:
+        self._pending_promotion = None
+        self.epoch = max(self.epoch, epoch)
+        if not self.is_primary:
+            self.mode = PortMode.PRIMARY
+            self.promotions += 1
+        for state in list(self.states.values()):
+            state.conn.kick()
+
+    def apply_demote(self, message: "Demote") -> None:
+        """Fenced off: a view newer than ours exists and we were still
+        acting on the old one.  Fail-stop locally — go silent, kill our
+        (stale) connections — and hand the node back through
+        ``on_demoted`` so the recovery subsystem can wipe it and rejoin
+        it as a backup via the live-join path."""
+        if self.shut_down or self.joining:
+            # A joiner is a *fresh* actor, not a stale one: a late
+            # Demote retry aimed at this node's previous incarnation
+            # must not kill the catch-up.
+            return
+        if message.epoch <= self.epoch:
+            # Not provably stale: the granted primary of the current
+            # epoch (or a freshly rejoined backup) ignores late
+            # Demote retries from before its promotion/rejoin.
+            return
+        self.demotions += 1
+        self.mode = PortMode.BACKUP
+        self._pending_promotion = None
+        self.shutdown()
+        if self.on_demoted is not None:
+            self.on_demoted()
 
     def shutdown(self) -> None:
         """Fail-stop: removed from the replica set, go silent."""
@@ -725,6 +834,8 @@ class FtStack:
             daemon.on_join_request = self._dispatch_join_request
             daemon.on_state_snapshot = self._dispatch_state_snapshot
             daemon.on_chain_splice = self._dispatch_chain_splice
+            daemon.on_promotion_grant = self._dispatch_promotion_grant
+            daemon.on_demote = self._dispatch_demote
 
     def setportopt(
         self,
@@ -812,3 +923,13 @@ class FtStack:
         ft_port = self.ports.get((as_address(splice.service_ip), splice.port))
         if ft_port is not None:
             ft_port.apply_chain_splice(splice)
+
+    def _dispatch_promotion_grant(self, grant: "PromotionGrant") -> None:
+        ft_port = self.ports.get((as_address(grant.service_ip), grant.port))
+        if ft_port is not None:
+            ft_port.apply_promotion_grant(grant)
+
+    def _dispatch_demote(self, message: "Demote") -> None:
+        ft_port = self.ports.get((as_address(message.service_ip), message.port))
+        if ft_port is not None:
+            ft_port.apply_demote(message)

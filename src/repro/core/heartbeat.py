@@ -93,15 +93,30 @@ class HeartbeatDetector:
         # heartbeat must still be detected).
         self._watching: dict[tuple, float] = {}
         self.detections = 0
+        self.zombie_heartbeats = 0
         self._timer = Timer(self.sim, self._sweep)
         self._timer.start(period)
 
     def on_heartbeat(self, message: Heartbeat) -> None:
         from repro.hydranet.redirector import ServiceKey
 
-        key = (ServiceKey(as_address(message.service_ip), message.port),
-               as_address(message.server_ip))
-        self._last_heard[key] = self.sim.now
+        service_key = ServiceKey(as_address(message.service_ip), message.port)
+        sender = as_address(message.server_ip)
+        entry = self.daemon.redirector.table.get(service_key)
+        if (
+            entry is not None
+            and entry.fault_tolerant
+            and sender not in entry.replicas
+        ):
+            # A heartbeat from outside the replica set: a replica
+            # removed in an earlier view is back (a healed partition)
+            # and doesn't know it.  It must not be re-armed — demote it
+            # instead (acted on only if its view is provably stale,
+            # DESIGN.md §9).
+            self.zombie_heartbeats += 1
+            self.daemon._send_demote(service_key, sender, entry.epoch)
+            return
+        self._last_heard[(service_key, sender)] = self.sim.now
 
     def _sweep(self) -> None:
         self._timer.start(self.period)

@@ -117,6 +117,7 @@ class ReplicatedTcpService:
             self.service_ip, self.port, on_accept, self.tcp_options
         )
         handle = ReplicaHandle(node, ft_port)
+        ft_port.on_demoted = lambda: self._on_replica_demoted(ft_port)
         self.replicas.append(handle)
         return handle
 
@@ -132,8 +133,22 @@ class ReplicatedTcpService:
             self.service_ip, self.port, on_accept, self.tcp_options, joining=True
         )
         handle = ReplicaHandle(node, ft_port)
+        ft_port.on_demoted = lambda: self._on_replica_demoted(ft_port)
         self.replicas.append(handle)
         return handle
+
+    def _on_replica_demoted(self, ft_port: FtPort) -> None:
+        """A Demote fail-stopped one of our replicas (it was acting on
+        a stale view, DESIGN.md §9).  With a recovery manager attached
+        the node is wiped and pooled — the manager's control loop then
+        drafts it back in as a backup through the live-join path,
+        restoring the target degree.  Without one the handle simply
+        stays shut down (the operator can ``recommission`` it)."""
+        handle = next((h for h in self.replicas if h.ft_port is ft_port), None)
+        if handle is None:
+            return
+        if self.recovery is not None and not handle.node.host_server.crashed:
+            self.recovery.return_spare(handle.node)
 
     def remove_replica(self, handle: ReplicaHandle, reason: str = "voluntary") -> None:
         """Voluntary departure (paper §4.4 deletion procedures)."""

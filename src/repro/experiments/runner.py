@@ -22,6 +22,7 @@ from . import (
     figure4,
     fragmentation,
     ordered_channel,
+    partition,
     receive_path,
     recovery,
     scaling_benefit,
@@ -38,6 +39,7 @@ EXPERIMENTS = [
     ("A7 failure-detector comparison", detector_comparison),
     ("D2 service scaling (load diffusion)", scaling_benefit),
     ("D3 autonomous recovery (live state transfer)", recovery),
+    ("D4 partition / split-brain fencing", partition),
 ]
 
 

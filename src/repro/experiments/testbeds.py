@@ -21,6 +21,7 @@ Four configurations:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -161,7 +162,13 @@ def build_ft_system(
     """General FT deployment builder (era profiles, Figure-4 topology).
 
     ``n_spares`` adds idle host servers (daemon + ack endpoint wired,
-    nothing bound) for the recovery subsystem's spare pool."""
+    nothing bound) for the recovery subsystem's spare pool.
+
+    The ``REPRO_SEED_OFFSET`` environment variable (default 0) is added
+    to ``seed`` — CI's chaos job runs the integration suite under
+    several offsets so seed-sensitive races (fail-over vs. partition
+    timing) get coverage without editing every test."""
+    seed = seed + int(os.environ.get("REPRO_SEED_OFFSET", "0") or 0)
     sim = Simulator(seed=seed)
     topo = Topology(sim)
     client = topo.add_host("client", CLIENT_486)

@@ -86,6 +86,41 @@ class FaultPlan:
 
             self.sim.schedule_at(at + duration, up)
 
+    def partition_oneway_at(
+        self,
+        link: Link,
+        direction: str,
+        at: float,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Take ONE direction of a link down at ``at`` (heal after
+        ``duration`` if given), leaving the other direction up.
+
+        ``direction`` is ``"a_to_b"`` or ``"b_to_a"``.  Asymmetric
+        partitions are the nastiest split-brain trigger: an ex-primary
+        that can still *transmit* towards clients while being deaf to
+        the management plane keeps acting on its stale view — the case
+        the redirector's epoch fence exists for (DESIGN.md §9)."""
+        channels = {"a_to_b": link.a_to_b, "b_to_a": link.b_to_a}
+        channel = channels.get(direction)
+        if channel is None:
+            raise ValueError(
+                f"direction must be 'a_to_b' or 'b_to_a', got {direction!r}"
+            )
+
+        def down() -> None:
+            channel.up = False
+            self._record("partition-oneway", f"{link.name}:{direction}")
+
+        self.sim.schedule_at(at, down)
+        if duration is not None:
+
+            def up() -> None:
+                channel.up = True
+                self._record("heal-oneway", f"{link.name}:{direction}")
+
+            self.sim.schedule_at(at + duration, up)
+
     def loss_burst(self, link: Link, at: float, duration: float, loss_rate: float) -> None:
         """Temporarily raise the link's loss rate (both directions)."""
         original = (link.a_to_b.loss_rate, link.b_to_a.loss_rate)

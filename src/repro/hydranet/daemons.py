@@ -15,16 +15,23 @@ from repro.netsim.addressing import IPAddress, as_address
 from repro.netsim.simulator import Simulator
 
 from .host_server import HostServer
+from repro.metrics.fencing import FencingMetrics
+
 from .mgmt import (
+    ARBITRATION_RETRY,
     ChainSplice,
     ChainUpdate,
+    Demote,
     FailureReport,
+    JOIN_RETRY,
     JoinReady,
     JoinRequest,
     MGMT_PORT,
     MgmtMessage,
     Ping,
     Pong,
+    PromotionGrant,
+    PromotionRequest,
     Register,
     ReliableUdp,
     StateSnapshot,
@@ -55,6 +62,8 @@ class TableSync(MgmtMessage):
     port: int
     fault_tolerant: bool
     replicas: tuple = ()
+    #: Current view epoch, so peer redirectors fence identically.
+    epoch: int = 0
 
 
 @dataclass
@@ -98,6 +107,24 @@ class RedirectorDaemon:
         self._report_history: dict[tuple[ServiceKey, IPAddress], list[float]] = {}
         self.reconfigurations = 0
         self.failovers = 0
+        # -- view/epoch fencing state (DESIGN.md §9) ----------------------
+        self.fencing = FencingMetrics()
+        #: Last observed primary per service, to detect view changes.
+        self._last_primary: dict[ServiceKey, IPAddress] = {}
+        #: (service key, epoch) -> the primary that owned that epoch;
+        #: lets the fence name the replica behind a stale segment.
+        self._epoch_owners: dict[tuple[ServiceKey, int], IPAddress] = {}
+        #: Last (epoch, grantee) per service — at most one grant per epoch.
+        self._granted: dict[ServiceKey, tuple[int, IPAddress]] = {}
+        #: Monotonic sequence for chain-update pushes (the reliable mgmt
+        #: layer is unordered; replicas discard stale layouts by it).
+        self._chain_seq: dict[ServiceKey, int] = {}
+        #: Demote rate limiting per (service key, target).
+        self._last_demote: dict[tuple[ServiceKey, IPAddress], float] = {}
+        self.demote_min_interval = 1.0
+        self.promotions_granted = 0
+        self.promotions_refused = 0
+        redirector.on_fenced = self._on_fenced
         #: Wired by the recovery manager (EXTENSION, DESIGN.md §8):
         #: observe membership changes / failure reports / join
         #: completions without owning the reconfiguration machinery.
@@ -122,6 +149,8 @@ class RedirectorDaemon:
             self._handle_pong(message, src_ip)
         elif isinstance(message, TableSync):
             self._handle_table_sync(message)
+        elif isinstance(message, PromotionRequest):
+            self._handle_promotion_request(message)
         elif isinstance(message, JoinReady):
             if self.on_join_ready is not None:
                 self.on_join_ready(message)
@@ -169,6 +198,7 @@ class RedirectorDaemon:
             self.redirector.table[key] = entry
         entry.fault_tolerant = msg.fault_tolerant
         entry.replicas = [as_address(r) for r in msg.replicas]
+        entry.epoch = max(entry.epoch, msg.epoch)
 
     def _sync_peers(self, key: ServiceKey) -> None:
         if not self.peers:
@@ -179,6 +209,7 @@ class RedirectorDaemon:
             port=key.port,
             fault_tolerant=entry.fault_tolerant if entry else False,
             replicas=tuple(entry.replicas) if entry else (),
+            epoch=entry.epoch if entry else 0,
         )
         for peer in self.peers:
             self.channel.send(TableSync(**message_args), peer)
@@ -187,6 +218,16 @@ class RedirectorDaemon:
         key = ServiceKey(as_address(msg.service_ip), msg.port)
         entry = self.redirector.table.get(key)
         if entry is None or not entry.fault_tolerant:
+            return
+        reporter = as_address(msg.reporter_ip)
+        if reporter not in entry.replicas:
+            # A report from outside the replica set is a zombie of an
+            # old view (e.g. a fenced ex-primary whose queued reports
+            # surface after a partition heals).  Acting on it could
+            # remove the *real* primary — never do; fail-stop the
+            # sender instead if its view is provably stale.
+            self.fencing.record_near_miss()
+            self._send_demote(key, reporter, entry.epoch)
             return
         if self.on_failure_report is not None:
             self.on_failure_report(msg)
@@ -255,7 +296,33 @@ class RedirectorDaemon:
 
     # -- chain layout -------------------------------------------------------
 
+    def _advance_epoch(self, key: ServiceKey) -> None:
+        """Bump the service epoch whenever the primary changes (the
+        epoch is a view number over *who leads*, not over membership:
+        backup churn does not invalidate the primary's output)."""
+        entry = self.redirector.table.get(key)
+        if entry is None or not entry.fault_tolerant:
+            return
+        primary = entry.primary
+        if primary is None:
+            return
+        last = self._last_primary.get(key)
+        if last is None:
+            # Initial view: epoch 0 belongs to the first primary.
+            self._epoch_owners[(key, entry.epoch)] = primary
+            self.fencing.record_epoch(
+                self.sim.now, key, entry.epoch, primary, "provision"
+            )
+        elif primary != last:
+            entry.epoch += 1
+            self._epoch_owners[(key, entry.epoch)] = primary
+            self.fencing.record_epoch(
+                self.sim.now, key, entry.epoch, primary, "failover"
+            )
+        self._last_primary[key] = primary
+
     def _push_chain_updates(self, key: ServiceKey) -> None:
+        self._advance_epoch(key)
         self._sync_peers(key)
         entry = self.redirector.table.get(key)
         if self.on_membership_change is not None:
@@ -263,6 +330,8 @@ class RedirectorDaemon:
         if entry is None or not entry.fault_tolerant:
             return
         replicas = entry.replicas
+        seq = self._chain_seq.get(key, 0) + 1
+        self._chain_seq[key] = seq
         for i, replica in enumerate(replicas):
             update = ChainUpdate(
                 service_ip=key.ip,
@@ -270,8 +339,74 @@ class RedirectorDaemon:
                 predecessor_ip=replicas[i - 1] if i > 0 else None,
                 has_successor=i < len(replicas) - 1,
                 is_primary=i == 0,
+                epoch=entry.epoch,
+                seq=seq,
             )
             self.channel.send(update, replica)
+
+    # -- promotion arbitration and fencing (DESIGN.md §9) -------------------
+
+    def _handle_promotion_request(self, msg: PromotionRequest) -> None:
+        key = ServiceKey(as_address(msg.service_ip), msg.port)
+        requester = as_address(msg.requester_ip)
+        entry = self.redirector.table.get(key)
+        self.fencing.promotion_requests += 1
+        if entry is None or not entry.fault_tolerant:
+            return
+        if requester not in entry.replicas:
+            # A bid from outside the replica set: a zombie of an old
+            # view trying to (re-)enter primary mode.
+            self._refuse_promotion(key, requester, entry.epoch)
+            return
+        if requester == entry.primary:
+            granted_epoch, grantee = self._granted.get(key, (-1, None))
+            if entry.epoch > granted_epoch:
+                self._granted[key] = (entry.epoch, requester)
+                self.promotions_granted += 1
+                self.fencing.promotion_grants += 1
+            elif grantee != requester:
+                # At most one grant per epoch; a second bidder loses.
+                self._refuse_promotion(key, requester, entry.epoch)
+                return
+            self.channel.send(
+                PromotionGrant(key.ip, key.port, requester, entry.epoch),
+                requester,
+                policy=ARBITRATION_RETRY,
+            )
+            return
+        # A backup bidding while the table still names another primary:
+        # treat the bid as suspicion of that primary and verify it.
+        if key not in self._reconfigs:
+            self._start_probe(key)
+
+    def _refuse_promotion(self, key: ServiceKey, target: IPAddress, epoch: int) -> None:
+        self.promotions_refused += 1
+        self.fencing.promotion_refusals += 1
+        self.fencing.record_near_miss()
+        self._send_demote(key, target, epoch)
+
+    def _on_fenced(self, stale_epoch: int, entry) -> None:
+        """A client-bound segment stamped with a stale epoch was dropped
+        by the redirector's fence: tell its owner to stand down."""
+        key = entry.key
+        self.fencing.record_fenced(key, stale_epoch)
+        owner = self._epoch_owners.get((key, stale_epoch))
+        if owner is not None and owner not in entry.replicas:
+            self._send_demote(key, owner, entry.epoch)
+
+    def _send_demote(self, key: ServiceKey, target: IPAddress, epoch: int) -> None:
+        """Order a stale replica to stand down (rate-limited; the
+        receiver acts only when ``epoch`` is ahead of its own view, so
+        a Demote can never kill the granted primary of the epoch)."""
+        now = self.sim.now
+        last = self._last_demote.get((key, target))
+        if last is not None and now - last < self.demote_min_interval:
+            return
+        self._last_demote[(key, target)] = now
+        self.fencing.demotes_sent += 1
+        self.channel.send(
+            Demote(key.ip, key.port, epoch), target, policy=ARBITRATION_RETRY
+        )
 
     # -- live join (recovery subsystem, EXTENSION) --------------------------
 
@@ -325,8 +460,12 @@ class HostServerDaemon:
         self.on_join_request: Optional[Callable[[JoinRequest], None]] = None
         self.on_state_snapshot: Optional[Callable[[StateSnapshot], None]] = None
         self.on_chain_splice: Optional[Callable[[ChainSplice], None]] = None
+        self.on_promotion_grant: Optional[Callable[[PromotionGrant], None]] = None
+        self.on_demote: Optional[Callable[[Demote], None]] = None
         self.chain_updates_received = 0
         self.failure_reports_sent = 0
+        self.promotion_requests_sent = 0
+        self.promotion_give_ups = 0
 
     @property
     def ip(self) -> IPAddress:
@@ -354,6 +493,23 @@ class HostServerDaemon:
             self.redirector_ip,
         )
 
+    def request_promotion(self, service_ip, port: int, epoch: int) -> None:
+        """Bid for primary mode at ``epoch`` (split-brain prevention,
+        DESIGN.md §9): entering primary mode requires the redirector's
+        PromotionGrant.  Bounded retry with exponential backoff and
+        jitter — a partitioned bidder eventually gives up rather than
+        flooding the mgmt channel."""
+        self.promotion_requests_sent += 1
+        self.channel.send(
+            PromotionRequest(as_address(service_ip), port, self.ip, epoch),
+            self.redirector_ip,
+            policy=ARBITRATION_RETRY,
+            on_give_up=self._promotion_gave_up,
+        )
+
+    def _promotion_gave_up(self, message: MgmtMessage) -> None:
+        self.promotion_give_ups += 1
+
     def send_snapshot(self, snapshot: StateSnapshot, dst_ip) -> None:
         """Donor → joiner: ship a base snapshot or catch-up delta."""
         self.channel.send(snapshot, as_address(dst_ip))
@@ -371,6 +527,7 @@ class HostServerDaemon:
                 bytes_received,
             ),
             self.redirector_ip,
+            policy=JOIN_RETRY,
         )
 
     # -- incoming ---------------------------------------------------------
@@ -394,3 +551,9 @@ class HostServerDaemon:
         elif isinstance(message, ChainSplice):
             if self.on_chain_splice is not None:
                 self.on_chain_splice(message)
+        elif isinstance(message, PromotionGrant):
+            if self.on_promotion_grant is not None:
+                self.on_promotion_grant(message)
+        elif isinstance(message, Demote):
+            if self.on_demote is not None:
+                self.on_demote(message)

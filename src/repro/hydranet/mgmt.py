@@ -20,6 +20,20 @@ Messages
   reconfiguration (deliberately unreliable).
 * ``Ack`` — reliable-layer acknowledgement.
 
+View/epoch fencing messages (EXTENSION — split-brain prevention, see
+DESIGN.md §9; a failure only "partitions the acknowledgement channel",
+so a crash and a partition are indistinguishable to the replicas and
+promotion must be arbitrated centrally):
+
+* ``PromotionRequest`` — backup → redirector: my failure estimator
+  suspects the primary; I bid to take over.  Carries the requester's
+  current epoch so the redirector can reject bids based on a stale
+  view of the chain.
+* ``PromotionGrant`` — redirector → new primary: you own the service's
+  new epoch.  At most one grant is ever issued per epoch.
+* ``Demote`` — redirector → stale replica: the service has moved past
+  your epoch; go silent and rejoin through the recovery path.
+
 Live-join messages (EXTENSION — the recovery subsystem, see DESIGN.md
 §8; the paper's §6 lists re-integration of recovered servers as future
 work):
@@ -82,6 +96,14 @@ class ChainUpdate(MgmtMessage):
     predecessor_ip: Optional[IPAddress]
     has_successor: bool
     is_primary: bool
+    #: The service epoch this layout belongs to.  Replicas ignore
+    #: updates older than what they have already applied (the reliable
+    #: layer is unordered), and stamp the epoch on client-bound output
+    #: so the redirector can fence stale primaries.
+    epoch: int = 0
+    #: Monotonic per-service push counter: orders updates *within* an
+    #: epoch (e.g. a backup joining does not bump the epoch).
+    seq: int = 0
 
 
 @dataclass
@@ -108,6 +130,45 @@ class Pong(MgmtMessage):
 class Ack(MgmtMessage):
     acked_id: int = 0
     wire_size = 12
+
+
+@dataclass
+class PromotionRequest(MgmtMessage):
+    """Backup → redirector: bid to take over as primary.
+
+    ``epoch`` is the epoch of the chain layout the requester last
+    applied — a bid carrying an old epoch was formed on a stale view
+    (another arbitration already happened) and is refused."""
+
+    service_ip: IPAddress
+    port: int
+    requester_ip: IPAddress
+    epoch: int = 0
+
+
+@dataclass
+class PromotionGrant(MgmtMessage):
+    """Redirector → replica: you are the primary for ``epoch``.
+
+    The redirector issues at most one grant per epoch; the grant is
+    also encoded in the ChainUpdate push, so this message is the
+    low-latency fast path, not the only carrier."""
+
+    service_ip: IPAddress
+    port: int
+    primary_ip: IPAddress
+    epoch: int = 0
+
+
+@dataclass
+class Demote(MgmtMessage):
+    """Redirector → stale replica: the service is at ``epoch`` and you
+    are not part of it.  Stop acting as a replica (especially: stop
+    transmitting with the service address) and rejoin via recovery."""
+
+    service_ip: IPAddress
+    port: int
+    epoch: int = 0
 
 
 @dataclass
@@ -174,6 +235,10 @@ class StateSnapshot(MgmtMessage):
     donor_ip: IPAddress
     conns: tuple = ()
     delta: bool = False
+    #: Service epoch at the donor when the snapshot was cut, so the
+    #: joiner starts epoch-aware and cannot be confused by a delayed
+    #: ChainUpdate from before the join (split-brain prevention).
+    epoch: int = 0
 
     def __post_init__(self):
         # Instance attribute shadows the 48-byte class default: a
@@ -209,11 +274,55 @@ class ChainSplice(MgmtMessage):
     conn_keys: tuple = ()
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule for the reliable management layer.
+
+    Attempt ``n`` (0-based) is followed, if unacknowledged, by a wait of
+    ``interval * backoff**n`` capped at ``max_interval``, with a
+    symmetric random jitter of ±``jitter`` (as a fraction of the wait)
+    to de-synchronize competing senders.  After ``max_tries`` attempts
+    the message is abandoned and the sender's give-up callback fires.
+    """
+
+    interval: float = 0.5
+    backoff: float = 1.0
+    max_interval: float = 8.0
+    jitter: float = 0.0
+    max_tries: int = 8
+
+    def delay(self, attempt: int, rng) -> float:
+        wait = min(self.interval * self.backoff ** attempt, self.max_interval)
+        if self.jitter:
+            wait *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return wait
+
+
+#: Fixed-interval schedule matching the original reliable layer.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Arbitration traffic (promotion bids, demotes) backs off exponentially
+#: with jitter: during a partition these messages are *expected* to keep
+#: failing, and hammering a congested path would worsen the very
+#: condition that triggered them.
+ARBITRATION_RETRY = RetryPolicy(
+    interval=0.3, backoff=2.0, max_interval=4.0, jitter=0.2, max_tries=6
+)
+
+#: Join-protocol control messages (JoinRequest/JoinReady) use the same
+#: backoff shape but try longer — a join is worth more patience than a
+#: promotion bid, which goes stale quickly.
+JOIN_RETRY = RetryPolicy(
+    interval=0.4, backoff=2.0, max_interval=4.0, jitter=0.2, max_tries=8
+)
+
+
 class ReliableUdp:
     """At-least-once delivery with dedup for the management daemons.
 
-    Retransmits every ``interval`` until an :class:`Ack` for the message
-    id arrives or ``max_tries`` is exhausted.  Receivers acknowledge and
+    Retransmits on a :class:`RetryPolicy` schedule until an :class:`Ack`
+    for the message id arrives or the policy's tries are exhausted (the
+    optional give-up callback then fires).  Receivers acknowledge and
     deduplicate by (sender, msg_id).
     """
 
@@ -237,10 +346,20 @@ class ReliableUdp:
         self.messages_sent = 0
         self.retransmissions = 0
         self.duplicates_dropped = 0
+        self.give_ups = 0
 
-    def send(self, message: MgmtMessage, dst_ip, dst_port: int = MGMT_PORT) -> None:
-        """Send reliably (retransmit until acked)."""
+    def send(
+        self,
+        message: MgmtMessage,
+        dst_ip,
+        dst_port: int = MGMT_PORT,
+        policy: Optional[RetryPolicy] = None,
+        on_give_up: Optional[Callable[[MgmtMessage], None]] = None,
+    ) -> None:
+        """Send reliably (retransmit until acked or tries exhausted)."""
         dst = as_address(dst_ip)
+        if policy is None:
+            policy = RetryPolicy(interval=self.interval, max_tries=self.max_tries)
         tries = {"n": 0}
 
         def transmit() -> None:
@@ -251,14 +370,17 @@ class ReliableUdp:
                 # queued retransmissions must never fire after a reboot.
                 self._pending.pop(message.msg_id, None)
                 return
-            tries["n"] += 1
-            if tries["n"] > self.max_tries:
+            if tries["n"] >= policy.max_tries:
                 self._pending.pop(message.msg_id, None)
+                self.give_ups += 1
+                if on_give_up is not None:
+                    on_give_up(message)
                 return
-            if tries["n"] > 1:
+            if tries["n"] > 0:
                 self.retransmissions += 1
             self.sock.send_to(dst, dst_port, message)
-            timer.start(self.interval)
+            timer.start(policy.delay(tries["n"], self.sim.rng))
+            tries["n"] += 1
 
         timer = Timer(self.sim, transmit)
         self._pending[message.msg_id] = timer

@@ -52,6 +52,11 @@ class RedirectionEntry:
     #: the primary and the rest are backups in chain order S1..SN; for
     #: scaling entries the list is in preference ("nearest") order.
     replicas: list[IPAddress] = field(default_factory=list)
+    #: Current view/epoch of the service (DESIGN.md §9).  Bumped by the
+    #: management daemon whenever the primary changes; client-bound
+    #: segments stamped with an older epoch are fenced (dropped) by the
+    #: redirector's data path.
+    epoch: int = 0
 
     @property
     def primary(self) -> Optional[IPAddress]:
@@ -79,9 +84,15 @@ class Redirector(Router):
         super().__init__(sim, name, profile)
         self.kernel.software_overhead = software_overhead
         self.table: dict[ServiceKey, RedirectionEntry] = {}
+        self.kernel.packet_hooks.append(self._fence_hook)
         self.kernel.packet_hooks.append(self._redirect_hook)
         self.packets_redirected = 0
         self.packets_multicast = 0
+        self.segments_fenced = 0
+        #: Optional callback ``(segment_epoch, source_ip, entry)`` fired
+        #: for every fenced segment — the management daemon uses it to
+        #: demote the stale transmitter and to record fencing metrics.
+        self.on_fenced = None
 
     # -- table management (driven by the management daemon) -------------
 
@@ -146,6 +157,33 @@ class Redirector(Router):
         if isinstance(payload, (TCPSegment, UDPDatagram)):
             return payload.dst_port
         return None
+
+    def _fence_hook(self, packet: IPPacket, nic: NIC) -> bool:
+        """Drop client-bound service output stamped with a stale epoch.
+
+        Every segment a replica emits towards a client carries the
+        service source address, so it crosses the redirector; a replica
+        still in primary mode for an epoch older than the table's (a
+        partitioned-but-alive ex-primary) is *fenced* here and can never
+        interleave bytes with the current primary (DESIGN.md §9).
+        """
+        if packet.protocol != Protocol.TCP or packet.is_fragment:
+            # Replicas emit MTU-sized segments, so client-bound service
+            # output is never fragmented before the redirector.
+            return False
+        segment = packet.payload
+        if not isinstance(segment, TCPSegment) or segment.epoch is None:
+            return False
+        entry = self.table.get(ServiceKey(packet.src, segment.src_port))
+        if entry is None or not entry.fault_tolerant:
+            return False
+        if segment.epoch >= entry.epoch:
+            return False
+        self.segments_fenced += 1
+        trace(self.sim, self.name, "fence", packet)
+        if self.on_fenced is not None:
+            self.on_fenced(segment.epoch, entry)
+        return True  # consumed: the stale segment goes no further
 
     def _redirect_hook(self, packet: IPPacket, nic: NIC) -> bool:
         if packet.protocol not in (Protocol.TCP, Protocol.UDP):

@@ -1,6 +1,7 @@
 """Measurement utilities for the experiment harness."""
 
 from .connstats import ConnectionReport, report_for
+from .fencing import EpochChange, FencingMetrics, primary_overlap
 from .recovery import DegreeTimeline, RecoveryIncident, summarize_incidents
 from .stats import Summary, ThroughputMeter, percentile
 from .tables import Table, format_comparison
@@ -9,6 +10,9 @@ from .traceview import FlowKey, capture_at, flows, summarize, tcp_records, time_
 __all__ = [
     "ConnectionReport",
     "report_for",
+    "EpochChange",
+    "FencingMetrics",
+    "primary_overlap",
     "DegreeTimeline",
     "RecoveryIncident",
     "summarize_incidents",

@@ -104,6 +104,11 @@ class TCPSegment(Payload):
     data: bytes = b""
     sack_blocks: tuple = ()
     sack_permitted: bool = False
+    #: Service view/epoch stamp (HydraNet-FT fencing, DESIGN.md §9).
+    #: ``None`` for ordinary TCP.  Modelled as riding in an otherwise
+    #: unused header field (the urgent pointer of non-URG segments), so
+    #: it adds no wire bytes — keeping the Figure 4 calibration intact.
+    epoch: Optional[int] = None
 
     @property
     def wire_size(self) -> int:

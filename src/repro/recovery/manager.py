@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.hydranet.daemons import RedirectorDaemon
-from repro.hydranet.mgmt import FailureReport, JoinReady, JoinRequest
+from repro.hydranet.mgmt import JOIN_RETRY, FailureReport, JoinReady, JoinRequest
 from repro.hydranet.redirector import ServiceKey
 from repro.metrics.recovery import DegreeTimeline, RecoveryIncident
 from repro.netsim.addressing import as_address
@@ -149,13 +149,24 @@ class RecoveryManager:
             return None
         donor_ip = entry.replicas[-1]
         handle = self.service.provision_joiner(node)
-        self._join = _JoinInProgress(
+        join = _JoinInProgress(
             node=node, handle=handle, donor_ip=donor_ip, started_at=self.sim.now
         )
+        self._join = join
         self.joins_started += 1
+
+        def give_up(_message, join_ref=join):
+            # The donor never acknowledged the JoinRequest (crashed or
+            # partitioned): abort now instead of waiting out the join
+            # timeout — the next poll tick retries against the new tail.
+            if self._join is join_ref:
+                self._abort_join()
+
         self.daemon.channel.send(
             JoinRequest(self.service.service_ip, self.service.port, node.ip),
             donor_ip,
+            policy=JOIN_RETRY,
+            on_give_up=give_up,
         )
         return handle
 

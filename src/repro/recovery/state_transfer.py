@@ -69,7 +69,12 @@ def snapshot_connections(
 
 def install_snapshot(ft_port: "FtPort", snapshot: StateSnapshot) -> list["ClientKey"]:
     """Joiner side: install a base snapshot; returns the keys of the
-    connections now held live (the splice will gate exactly these)."""
+    connections now held live (the splice will gate exactly these).
+
+    The snapshot also carries the donor's view epoch: the joiner starts
+    epoch-aware so that, if it is ever promoted, it stamps client-bound
+    segments with a view the redirector's fence accepts (DESIGN.md §9)."""
+    ft_port.epoch = max(ft_port.epoch, snapshot.epoch)
     keys: list["ClientKey"] = []
     for conn_snap in snapshot.conns:
         if install_connection(ft_port, conn_snap):

@@ -11,7 +11,7 @@ def test_runner_lists_all_experiments():
 
     titles = [t for t, _ in EXPERIMENTS]
     assert any("Figure 4" in t for t in titles)
-    for tag in ("A1", "A2", "A3", "A4", "A5", "A6", "A7", "D2"):
+    for tag in ("A1", "A2", "A3", "A4", "A5", "A6", "A7", "D2", "D3", "D4"):
         assert any(tag in t for t in titles), tag
     # Every listed module is runnable and has the standard interface.
     for _, module in EXPERIMENTS:

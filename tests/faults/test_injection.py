@@ -118,6 +118,44 @@ def test_crash_cycle_schedules_repeated_outages(net):
     assert not b.crashed
 
 
+def test_partition_oneway_drops_only_one_direction(net):
+    sim, topo, a, b, link, received = net
+    received_a = []
+    a.kernel.register_protocol(Protocol.ICMP, lambda p: received_a.append(sim.now))
+    plan = FaultPlan(sim)
+    plan.partition_oneway_at(link, "a_to_b", 1.0, duration=2.0)
+    sim.schedule(1.5, ping, a, b)   # a->b is down: dropped
+    sim.schedule(1.5, ping, b, a)   # b->a still up: delivered
+    sim.schedule(3.5, ping, a, b)   # after the heal
+    sim.run()
+    assert len(received) == 1
+    assert len(received_a) == 1
+    assert link.a_to_b.up and link.b_to_a.up
+    assert [e.kind for e in plan.log] == ["partition-oneway", "heal-oneway"]
+    assert plan.log[0].target == "a<->b:a_to_b"
+
+
+def test_partition_oneway_permanent_until_healed(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.partition_oneway_at(link, "b_to_a", 1.0)  # no duration: stays down
+    received_a = []
+    a.kernel.register_protocol(Protocol.ICMP, lambda p: received_a.append(sim.now))
+    sim.schedule(2.0, ping, b, a)
+    sim.schedule(2.0, ping, a, b)
+    sim.run()
+    assert received_a == []
+    assert len(received) == 1
+    assert link.a_to_b.up and not link.b_to_a.up
+
+
+def test_partition_oneway_rejects_bad_direction(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    with pytest.raises(ValueError):
+        plan.partition_oneway_at(link, "sideways", 1.0)
+
+
 def test_crash_cycle_rejects_downtime_longer_than_period(net):
     sim, topo, a, b, link, received = net
     plan = FaultPlan(sim)

@@ -1,13 +1,18 @@
 """Tests for the replica management protocol and daemons."""
 
+import random
+
 import pytest
 
 from repro.hydranet import (
+    ARBITRATION_RETRY,
     HostServerDaemon,
+    JOIN_RETRY,
     MGMT_PORT,
     Register,
     RedirectorDaemon,
     ReliableUdp,
+    RetryPolicy,
 )
 from repro.sockets import node_for
 
@@ -81,6 +86,71 @@ class TestReliableUdp:
         hnet.run(until=60.0)
         assert inbox == []
         assert not chan_a._pending
+
+    def test_policy_exhaustion_fires_give_up_callback(self, hnet_no_origin):
+        hnet = hnet_no_origin
+        chan_a, chan_b, inbox = self.build_pair(hnet)
+        hnet.topo.find_link("client", "redirector").set_loss_rate(1.0)
+        abandoned = []
+        msg = Register(hnet.hs_a.ip, 80, hnet.hs_a.ip, "primary")
+        chan_a.send(
+            msg, hnet.hs_a.ip, policy=ARBITRATION_RETRY, on_give_up=abandoned.append
+        )
+        hnet.run(until=60.0)
+        assert abandoned == [msg]
+        assert chan_a.give_ups == 1
+        assert inbox == []
+        assert not chan_a._pending
+
+    def test_give_up_does_not_fire_on_delivery(self, hnet_no_origin):
+        hnet = hnet_no_origin
+        chan_a, chan_b, inbox = self.build_pair(hnet)
+        abandoned = []
+        msg = Register(hnet.hs_a.ip, 80, hnet.hs_a.ip, "primary")
+        chan_a.send(
+            msg, hnet.hs_a.ip, policy=ARBITRATION_RETRY, on_give_up=abandoned.append
+        )
+        hnet.run(until=10.0)
+        assert len(inbox) == 1
+        assert abandoned == []
+        assert chan_a.give_ups == 0
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_caps_at_max_interval(self):
+        policy = RetryPolicy(
+            interval=0.3, backoff=2.0, max_interval=4.0, jitter=0.0, max_tries=6
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(n, rng) for n in range(6)]
+        assert delays == [0.3, 0.6, 1.2, 2.4, 4.0, 4.0]
+
+    def test_default_policy_is_fixed_interval(self):
+        rng = random.Random(0)
+        policy = RetryPolicy()
+        assert [policy.delay(n, rng) for n in range(4)] == [0.5] * 4
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            interval=1.0, backoff=2.0, max_interval=8.0, jitter=0.2, max_tries=8
+        )
+        rng = random.Random(42)
+        for attempt in range(8):
+            base = min(1.0 * 2.0**attempt, 8.0)
+            for _ in range(50):
+                d = policy.delay(attempt, rng)
+                assert base * 0.8 <= d <= base * 1.2
+                assert d > 0
+
+    def test_shipped_policies_back_off(self):
+        rng = random.Random(7)
+        for policy in (ARBITRATION_RETRY, JOIN_RETRY):
+            assert policy.backoff > 1.0
+            assert policy.jitter > 0.0
+            # Later attempts wait longer on average than the first.
+            first = sum(policy.delay(0, rng) for _ in range(50)) / 50
+            late = sum(policy.delay(5, rng) for _ in range(50)) / 50
+            assert late > first * 2
 
 
 class TestRegistration:

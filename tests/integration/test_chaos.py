@@ -8,7 +8,7 @@ no connection events, and the replica set converges after every wave.
 
 
 from repro.apps.echo import echo_server_factory
-from repro.core import DetectorParams
+from repro.core import DetectorParams, enable_heartbeats
 from repro.experiments.testbeds import build_ft_system
 from repro.faults import FaultPlan
 
@@ -92,6 +92,58 @@ def test_flapping_backup_link():
     assert events == []
     # The primary is still the primary (its own path never flapped).
     assert system.service.replicas[0].ft_port.is_primary
+
+
+def test_heartbeat_partition_false_positive_no_double_promotion():
+    """Regression for the heartbeat detector's classic false positive:
+    a redirector<->primary partition silences heartbeats, so the
+    detector declares the (perfectly alive) primary dead and the backup
+    is promoted.  When the partition heals, the ex-primary is back with
+    its stale view — without epoch arbitration this is a double
+    promotion.  With it: exactly one grant, the zombie's heartbeats are
+    answered with a Demote, and the client stream stays exact."""
+    system = build_ft_system(
+        seed=3,
+        n_backups=1,
+        factory=echo_server_factory,
+        port=7,
+        # Mute the retransmission estimator: the heartbeat path alone
+        # must drive (and survive) the false positive.
+        detector=DetectorParams(threshold=1_000_000),
+    )
+    detector, _senders = enable_heartbeats(
+        system.redirector_daemon,
+        system.nodes[:2],
+        system.service_ip,
+        system.port,
+        period=0.5,
+        tolerance=3,
+    )
+    conn, got, payload, events = continuous_client(system, 150_000)
+    plan = FaultPlan(system.sim)
+    link = system.topo.find_link("redirector", "hs_0")
+    plan.partition_at(link, system.sim.now + 0.2, duration=10.0)
+    deadline = system.sim.now + 200.0
+    while system.sim.now < deadline and len(got) < len(payload):
+        system.run_for(1.0)
+    system.run_for(15.0)  # post-heal: zombie heartbeats, demote
+
+    assert bytes(got) == payload
+    assert events == []
+    assert detector.detections >= 1  # the false positive fired
+    assert system.redirector_daemon.promotions_granted == 1  # once, ever
+    assert detector.zombie_heartbeats > 0
+    entry = system.redirector.entry_for(system.service_ip, system.port)
+    assert entry.epoch >= 1
+    live_primaries = [
+        h
+        for h in system.service.replicas
+        if h.ft_port.is_primary
+        and not h.ft_port.shut_down
+        and not h.node.host_server.crashed
+    ]
+    assert len(live_primaries) == 1
+    assert live_primaries[0].node is system.nodes[1]
 
 
 def test_flapping_primary_link_converges():
