@@ -14,7 +14,7 @@ encapsulated IP-in-IP and tunnelled to the host server(s):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.netsim.addressing import IPAddress, as_address
@@ -71,6 +71,35 @@ class RedirectorError(RuntimeError):
     pass
 
 
+class _RedirectorTable(dict):
+    """``dict[ServiceKey, RedirectionEntry]`` that mirrors itself under
+    plain ``(int(ip), port)`` tuple keys (:attr:`fast`).
+
+    The data-path hooks run for every forwarded packet; looking up via
+    a tuple avoids constructing and hashing a ``ServiceKey`` dataclass
+    per packet.  Mutations must go through ``[]=`` / ``del`` / ``pop``
+    — which every caller (the install/remove API and the management
+    daemon's table sync) already does.  Entries mutated in place keep
+    their identity, so the mirror stays valid without a rebuild.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.fast: dict[tuple[int, int], RedirectionEntry] = {}
+
+    def __setitem__(self, key: ServiceKey, entry: RedirectionEntry) -> None:
+        super().__setitem__(key, entry)
+        self.fast[(key.ip._value, key.port)] = entry
+
+    def __delitem__(self, key: ServiceKey) -> None:
+        super().__delitem__(key)
+        self.fast.pop((key.ip._value, key.port), None)
+
+    def pop(self, key: ServiceKey, *default):
+        self.fast.pop((key.ip._value, key.port), None)
+        return super().pop(key, *default)
+
+
 class Redirector(Router):
     """A router running the HydraNet(-FT) redirection software."""
 
@@ -83,7 +112,7 @@ class Redirector(Router):
     ):
         super().__init__(sim, name, profile)
         self.kernel.software_overhead = software_overhead
-        self.table: dict[ServiceKey, RedirectionEntry] = {}
+        self.table: dict[ServiceKey, RedirectionEntry] = _RedirectorTable()
         self.kernel.packet_hooks.append(self._fence_hook)
         self.kernel.packet_hooks.append(self._redirect_hook)
         self.packets_redirected = 0
@@ -174,7 +203,7 @@ class Redirector(Router):
         segment = packet.payload
         if not isinstance(segment, TCPSegment) or segment.epoch is None:
             return False
-        entry = self.table.get(ServiceKey(packet.src, segment.src_port))
+        entry = self.table.fast.get((packet.src._value, segment.src_port))
         if entry is None or not entry.fault_tolerant:
             return False
         if segment.epoch >= entry.epoch:
@@ -196,7 +225,7 @@ class Redirector(Router):
         port = self._destination_port(packet)
         if port is None:
             return False
-        entry = self.table.get(ServiceKey(packet.dst, port))
+        entry = self.table.fast.get((packet.dst._value, port))
         if entry is None or not entry.replicas:
             return False
         if entry.fault_tolerant:
@@ -208,7 +237,22 @@ class Redirector(Router):
         trace(self.sim, self.name, "redirect", packet)
         source = self.interfaces[0].ip if self.interfaces else packet.src
         for target in targets:
-            inner = replace(packet)  # shallow copy per target
+            # Shallow copy per target (replicas must not share the
+            # mutable outer header); built by hand because
+            # dataclasses.replace pays field introspection per call and
+            # this runs once per redirected packet per replica.
+            inner = IPPacket(
+                src=packet.src,
+                dst=packet.dst,
+                protocol=packet.protocol,
+                payload=packet.payload,
+                ttl=packet.ttl,
+                ident=packet.ident,
+                frag_offset=packet.frag_offset,
+                more_fragments=packet.more_fragments,
+                dont_fragment=packet.dont_fragment,
+                original_payload_size=packet.original_payload_size,
+            )
             outer = encapsulate(inner, source, target)
             self.kernel.send_ip(outer)
         return True

@@ -1,0 +1,149 @@
+"""Simulation-engine performance measurement (DESIGN.md §10).
+
+:func:`run_engine_benchmark` drives the perf macro-benchmark: a bulk
+ft-TCP transfer from a 486-class client through the redirector to a
+primary + 2-backup chain — the paper's testbed topology — and reports
+how fast the *simulator* chews through it: events per wall-clock
+second, wall-clock seconds per simulated second, and the event-heap
+high-water mark.
+
+``BENCH_PR3.json`` at the repository root records these numbers before
+and after the engine fast-path work, and :func:`check_regression`
+compares a fresh run against the committed "after" baseline (CI's
+perf-smoke job).  The comparison splits into two kinds of checks:
+
+* simulation *results* (event count, simulated duration, application
+  throughput, heap high-water mark) are deterministic and must match
+  the baseline exactly on any machine — a mismatch means behaviour
+  changed, not that the machine is slow;
+* wall-clock figures are machine-dependent and only gate on a relative
+  threshold (default: fail when events/sec drops more than 30 %).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: Default relative events/sec regression tolerance for CI.
+DEFAULT_THRESHOLD = 0.30
+
+
+@dataclass
+class EnginePerfResult:
+    """One macro-benchmark run's figures."""
+
+    # Workload parameters.
+    nbuf: int
+    buflen: int
+    n_backups: int
+    seed: int
+    # Deterministic simulation results.
+    completed: bool
+    bytes_sent: int
+    events: int
+    sim_seconds: float
+    peak_queue_len: int
+    throughput_kB_per_s: float
+    # Machine-dependent timing.
+    wall_seconds: float
+    events_per_sec: float
+    wall_per_sim_second: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_engine_benchmark(
+    nbuf: int = 1024,
+    buflen: int = 1024,
+    n_backups: int = 2,
+    seed: int = 0,
+) -> EnginePerfResult:
+    """Run the bulk ft-TCP macro-benchmark once and time it.
+
+    ``nbuf * buflen`` bytes are pushed through a primary + ``n_backups``
+    chain behind the redirector (see
+    :func:`repro.experiments.testbeds.build_primary_backup`).
+    """
+    # Imported here so importing the metrics package never drags in the
+    # whole testbed stack.
+    from repro.experiments.testbeds import build_primary_backup
+
+    run = build_primary_backup(seed=seed, n_backups=n_backups)
+    sim = run.sim
+    events_before = sim.events_processed
+    start = time.perf_counter()
+    result = run.run(buflen=buflen, nbuf=nbuf)
+    wall = time.perf_counter() - start
+    events = sim.events_processed - events_before
+    return EnginePerfResult(
+        nbuf=nbuf,
+        buflen=buflen,
+        n_backups=n_backups,
+        seed=seed,
+        completed=result.completed,
+        bytes_sent=result.bytes_sent,
+        events=events,
+        sim_seconds=round(result.duration, 6),
+        peak_queue_len=sim.peak_queue_len,
+        throughput_kB_per_s=round(result.throughput_kB_per_sec, 3),
+        wall_seconds=round(wall, 4),
+        events_per_sec=round(events / wall, 1),
+        wall_per_sim_second=round(wall / result.duration, 4),
+    )
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Load a ``BENCH_PR3.json``-style baseline file."""
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_regression(
+    result: EnginePerfResult,
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Compare a fresh run against the baseline's "after" record.
+
+    Returns a list of human-readable problems (empty = pass).
+    """
+    problems: list[str] = []
+    base = baseline["after"]
+
+    # Determinism: identical on any machine, or behaviour changed.
+    for field in (
+        "completed",
+        "bytes_sent",
+        "events",
+        "sim_seconds",
+        "peak_queue_len",
+        "throughput_kB_per_s",
+    ):
+        got = getattr(result, field)
+        want = base[field]
+        if got != want:
+            problems.append(
+                f"deterministic result changed: {field} = {got!r}, "
+                f"baseline has {want!r}"
+            )
+
+    # Speed: machine-dependent, gated on a relative threshold.
+    floor = base["events_per_sec"] * (1.0 - threshold)
+    if result.events_per_sec < floor:
+        problems.append(
+            f"events/sec regressed beyond {threshold:.0%}: "
+            f"{result.events_per_sec} < {floor:.1f} "
+            f"(baseline {base['events_per_sec']})"
+        )
+    return problems
+
+
+def write_report(result: EnginePerfResult, path: str | Path) -> None:
+    """Write one run's figures as JSON (CI artifact helper)."""
+    with open(path, "w") as f:
+        json.dump(result.to_dict(), f, indent=1, sort_keys=True)
+        f.write("\n")

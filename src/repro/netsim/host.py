@@ -79,6 +79,13 @@ class Kernel:
         # host mechanism of HydraNet populates this.
         self.virtual_addresses: set[IPAddress] = set()
         self.reassembler = Reassembler(self.sim)
+        # NIC addresses, mirrored as a set so `owns_address` is two set
+        # probes instead of a generator sweep (kept in sync by
+        # `Host.add_interface`; NIC addresses never change afterwards).
+        self._nic_addrs: set[IPAddress] = set()
+        # Flattened routing table [(mask, base, nic)] maintained by
+        # `add_route` — longest-prefix match on plain ints.
+        self._route_table: list[tuple[int, int, NIC]] = []
         self._cpu_free_at = 0.0
         self.packets_forwarded = 0
         self.packets_delivered = 0
@@ -88,10 +95,16 @@ class Kernel:
 
     def _cpu_delay(self, wire_size: int) -> float:
         """Charge CPU for one packet; returns the completion delay."""
-        cost = self.host.profile.packet_cost(wire_size) + self.software_overhead
-        start = max(self.sim.now, self._cpu_free_at)
+        profile = self.host.profile
+        cost = (
+            profile.per_packet_cpu
+            + profile.per_byte_cpu * wire_size
+            + self.software_overhead
+        )
+        now = self.sim._now
+        start = now if now >= self._cpu_free_at else self._cpu_free_at
         self._cpu_free_at = start + cost
-        return self._cpu_free_at - self.sim.now
+        return self._cpu_free_at - now
 
     def _charge_extra_fragments(self, n_extra: int) -> float:
         """Fragmentation costs per-fragment header processing beyond
@@ -108,20 +121,24 @@ class Kernel:
     def add_route(self, network: Network | str, nic: NIC) -> None:
         self.routes.append(Route(Network(network), nic))
         self.routes.sort(key=lambda r: -r.network.prefix_len)
+        self._route_table = [
+            (r.network._mask, int(r.network.base), r.nic) for r in self.routes
+        ]
 
     def add_default_route(self, nic: NIC) -> None:
         self.add_route(Network("0.0.0.0/0"), nic)
 
     def route_lookup(self, dst: IPAddress) -> Optional[NIC]:
-        for route in self.routes:
-            if dst in route.network and route.nic.up:
-                return route.nic
+        value = dst._value if type(dst) is IPAddress else int(as_address(dst))
+        for mask, base, nic in self._route_table:
+            if value & mask == base and nic.up:
+                return nic
         return None
 
     def owns_address(self, address: IPAddress) -> bool:
-        if address in self.virtual_addresses:
-            return True
-        return any(nic.ip == address for nic in self.host.interfaces)
+        if type(address) is not IPAddress:
+            address = as_address(address)
+        return address in self._nic_addrs or address in self.virtual_addresses
 
     # -- protocol registration ----------------------------------------
 
@@ -137,14 +154,17 @@ class Kernel:
         if self.host.crashed:
             return
         delay = self._cpu_delay(packet.wire_size)
-        self.sim.schedule(delay, self._route_and_transmit, packet)
+        self.sim.post(delay, self._route_and_transmit, packet)
 
     def _route_and_transmit(self, packet: IPPacket) -> None:
         if self.host.crashed:
             return
         # Loopback / locally owned destination: deliver without a wire.
-        if self.owns_address(packet.dst):
-            self.sim.schedule(0.0, self._deliver_local, packet)
+        # (Set probes inlined from owns_address: dst is always a real
+        # IPAddress on this path.)
+        dst = packet.dst
+        if dst in self._nic_addrs or dst in self.virtual_addresses:
+            self.sim.post(0.0, self._deliver_local, packet)
             return
         nic = self.route_lookup(packet.dst)
         if nic is None:
@@ -175,15 +195,18 @@ class Kernel:
         if self.host.crashed:
             return
         delay = self._cpu_delay(packet.wire_size)
-        self.sim.schedule(delay, self._process, packet, nic)
+        self.sim.post(delay, self._process, packet, nic)
 
     def _process(self, packet: IPPacket, nic: NIC) -> None:
         if self.host.crashed:
             return
-        for hook in list(self.packet_hooks):
-            if hook(packet, nic):
-                return
-        if self.owns_address(packet.dst):
+        if self.packet_hooks:
+            # Copied because hooks may unregister themselves mid-sweep.
+            for hook in list(self.packet_hooks):
+                if hook(packet, nic):
+                    return
+        dst = packet.dst
+        if dst in self._nic_addrs or dst in self.virtual_addresses:
             self._deliver_local(packet)
         elif self.ip_forwarding:
             self._forward(packet)
@@ -258,6 +281,7 @@ class Host:
     ) -> NIC:
         nic = NIC(self, as_address(ip), Network(network), mtu=mtu)
         self.interfaces.append(nic)
+        self.kernel._nic_addrs.add(nic.ip)
         self.kernel.add_route(nic.network, nic)
         return nic
 

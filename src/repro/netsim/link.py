@@ -55,32 +55,34 @@ class Channel:
 
     def transmit(self, packet: IPPacket) -> None:
         """Accept a packet for transmission (or drop it)."""
+        sim = self.sim
         if not self.up or self.destination is None:
-            trace(self.sim, self.name, "link-down-drop", packet)
+            trace(sim, self.name, "link-down-drop", packet)
             return
         if self._queued >= self.queue_capacity:
             self.packets_dropped_queue += 1
-            trace(self.sim, self.name, "queue-drop", packet)
+            trace(sim, self.name, "queue-drop", packet)
             return
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        done = start + self.transmission_time(packet)
+        now = sim.now
+        start = now if now >= self._busy_until else self._busy_until
+        done = start + packet.wire_size * 8 / self.bandwidth_bps
         self._busy_until = done
         self._queued += 1
-        self.sim.schedule_at(done, self._transmission_complete, packet)
+        sim.post_at(done, self._transmission_complete, packet)
 
     def _transmission_complete(self, packet: IPPacket) -> None:
         self._queued -= 1
         self.packets_sent += 1
         self.bytes_sent += packet.wire_size
+        sim = self.sim
         if not self.up or self.destination is None:
-            trace(self.sim, self.name, "link-down-drop", packet)
+            trace(sim, self.name, "link-down-drop", packet)
             return
-        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+        if self.loss_rate and sim.rng.random() < self.loss_rate:
             self.packets_lost += 1
-            trace(self.sim, self.name, "loss", packet)
+            trace(sim, self.name, "loss", packet)
             return
-        self.sim.schedule(self.latency, self._arrive, packet)
+        sim.post(self.latency, self._arrive, packet)
 
     def _arrive(self, packet: IPPacket) -> None:
         if not self.up or self.destination is None:

@@ -28,6 +28,7 @@ class NIC:
         name: Optional[str] = None,
     ):
         self.host = host
+        self.sim = host.sim  # cached: NIC tx/rx are per-packet hot paths
         self.ip = ip
         self.network = network
         self.mtu = mtu
@@ -48,24 +49,28 @@ class NIC:
         """Put a packet on the wire.  Caller is responsible for MTU
         compliance (the kernel fragments before calling this)."""
         if not self.up:
-            trace(self.host.sim, self.name, "nic-down-drop", packet)
+            trace(self.sim, self.name, "nic-down-drop", packet)
             return
         if self._out is None:
-            trace(self.host.sim, self.name, "unconnected-drop", packet)
+            trace(self.sim, self.name, "unconnected-drop", packet)
             return
         if packet.wire_size > self.mtu:
             raise ValueError(
                 f"{self.name}: packet of {packet.wire_size}B exceeds MTU {self.mtu}"
             )
         self.packets_out += 1
-        trace(self.host.sim, self.name, "tx", packet)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.record(self.sim.now, self.name, "tx", packet)
         self._out.transmit(packet)
 
     def deliver(self, packet: IPPacket) -> None:
         """Called by the link when a packet arrives at this interface."""
         if not self.up:
-            trace(self.host.sim, self.name, "nic-down-drop", packet)
+            trace(self.sim, self.name, "nic-down-drop", packet)
             return
         self.packets_in += 1
-        trace(self.host.sim, self.name, "rx", packet)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.record(self.sim.now, self.name, "rx", packet)
         self.host.kernel.receive_from_nic(packet, self)

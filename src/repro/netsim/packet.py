@@ -73,7 +73,12 @@ class UDPDatagram(Payload):
 
     @property
     def wire_size(self) -> int:
-        return UDP_HEADER_SIZE + self.data_size
+        try:
+            return self._wire_size
+        except AttributeError:
+            size = UDP_HEADER_SIZE + self.data_size
+            self._wire_size = size
+            return size
 
 
 class TCPFlags(enum.IntFlag):
@@ -83,6 +88,18 @@ class TCPFlags(enum.IntFlag):
     RST = 4
     PSH = 8
     ACK = 16
+
+
+# Plain-int mirrors of the flag values.  Protocol hot paths build and
+# test flags with these so the per-segment bit twiddling stays in C
+# (IntFlag.__and__ constructs a new enum member per operation);
+# ``TCPFlags`` remains the public vocabulary and any mix of the two
+# compares equal.
+FLAG_FIN = 1
+FLAG_SYN = 2
+FLAG_RST = 4
+FLAG_PSH = 8
+FLAG_ACK = 16
 
 
 @dataclass
@@ -112,28 +129,36 @@ class TCPSegment(Payload):
 
     @property
     def wire_size(self) -> int:
+        # Memoized: segments are immutable once emitted and this is on
+        # the per-packet CPU/serialization path.
+        try:
+            return self._wire_size
+        except AttributeError:
+            pass
         options = 0
         if self.sack_blocks:
             options += 4 + 8 * len(self.sack_blocks)  # kind/len + pairs
         if self.sack_permitted:
             options += 4
-        return TCP_HEADER_SIZE + options + len(self.data)
+        size = TCP_HEADER_SIZE + options + len(self.data)
+        self._wire_size = size
+        return size
 
     @property
     def syn(self) -> bool:
-        return bool(self.flags & TCPFlags.SYN)
+        return bool(self.flags & FLAG_SYN)
 
     @property
     def fin(self) -> bool:
-        return bool(self.flags & TCPFlags.FIN)
+        return bool(self.flags & FLAG_FIN)
 
     @property
     def rst(self) -> bool:
-        return bool(self.flags & TCPFlags.RST)
+        return bool(self.flags & FLAG_RST)
 
     @property
     def has_ack(self) -> bool:
-        return bool(self.flags & TCPFlags.ACK)
+        return bool(self.flags & FLAG_ACK)
 
     @property
     def seq_span(self) -> int:
@@ -172,9 +197,14 @@ class IPPacket:
     # fragments (lets the reassembler know when it is done).
     original_payload_size: Optional[int] = None
 
-    @property
-    def wire_size(self) -> int:
-        return IP_HEADER_SIZE + self.payload.wire_size
+    def __post_init__(self):
+        # Computed eagerly: every packet's wire size is read at least
+        # once (CPU cost, MTU check, serialization delay), the payload
+        # is never swapped or resized after construction (copies go
+        # through dataclasses.replace or the fragmenter, both of which
+        # build fresh instances), and a plain attribute read beats a
+        # property call on the per-packet hot paths.
+        self.wire_size = IP_HEADER_SIZE + self.payload.wire_size
 
     @property
     def is_fragment(self) -> bool:

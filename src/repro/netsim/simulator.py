@@ -4,41 +4,59 @@ Everything in the reproduction runs on virtual time provided by
 :class:`Simulator`.  Events are callbacks scheduled at absolute virtual
 times; ties are broken by insertion order, which makes runs fully
 deterministic for a given seed.
+
+Performance notes (DESIGN.md §10): the heap holds plain
+``(time, seq, event)`` tuples so sift comparisons stay in C (tuple
+comparison never reaches the event object because ``seq`` is unique).
+Cancellation is lazy — a cancelled entry stays queued until it pops or
+until cancelled entries outnumber live ones, at which point the heap is
+compacted in place.  :class:`Timer` absorbs the cancel/reschedule churn
+of retransmission timers and heartbeats by re-arming in place: pushing
+the deadline out does not touch the heap at all.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+#: Compaction threshold: never compact heaps smaller than this (the
+#: rebuild cost would exceed the lazy-pop cost it saves).
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+class _Event:
+    """A scheduled callback.  Deliberately *not* comparable: ordering
+    lives entirely in the ``(time, seq)`` tuple prefix of heap entries."""
+
+    __slots__ = ("callback", "args", "cancelled", "queued")
+
+    def __init__(self, callback: Callable[..., None], args: tuple):
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.queued = True
 
 
 class EventHandle:
     """Cancellable handle returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_event", "_time")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, sim: "Simulator", event: _Event, time: float):
+        self._sim = sim
         self._event = event
+        self._time = time
 
     @property
     def time(self) -> float:
         """Absolute virtual time the event fires at."""
-        return self._event.time
+        return self._time
 
     @property
     def cancelled(self) -> bool:
@@ -46,7 +64,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if event.queued:
+                self._sim._note_cancelled()
 
 
 class Simulator:
@@ -61,11 +83,21 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
-        self._queue: list[_ScheduledEvent] = []
+        # Entries are (time, seq, _Event) for cancellable events and
+        # (time, seq, callback, args) for fire-and-forget posts; seq is
+        # unique, so heap comparisons never look past it and the mixed
+        # tuple widths are safe.
+        self._queue: list[tuple] = []
         self._now = 0.0
         self._seq = 0
+        self._live = 0  # queued events that are not cancelled
         self._running = False
         self._events_processed = 0
+        self._peak_queue_len = 0
+        #: Attached :class:`~repro.netsim.trace.Tracer`, or None.  Kept
+        #: as a real attribute so the no-tracer check in packet hot
+        #: paths is a single plain attribute load.
+        self.tracer = None
         self.rng = random.Random(seed)
 
     @property
@@ -79,7 +111,31 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events.  O(1): a live count
+        is maintained across schedule/cancel/pop."""
+        return self._live
+
+    @property
+    def peak_queue_len(self) -> int:
+        """High-water mark of the event heap (including entries that
+        were later cancelled) — the perf harness reports this."""
+        return self._peak_queue_len
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled: update the live count and
+        compact the heap when cancelled entries dominate it."""
+        self._live -= 1
+        queue = self._queue
+        n = len(queue)
+        if n >= _COMPACT_MIN and self._live * 2 < n:
+            # In-place so `run`'s local binding of the list stays valid.
+            # 4-tuple entries are fire-and-forget posts: never cancelled.
+            queue[:] = [
+                entry
+                for entry in queue
+                if len(entry) == 4 or not entry[2].cancelled
+            ]
+            heapq.heapify(queue)
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -97,10 +153,44 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} (now is {self._now})"
             )
-        event = _ScheduledEvent(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = _Event(callback, args)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
+        return EventHandle(self, event, time)
+
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle` is
+        built and no :class:`_Event` is allocated — the heap entry is a
+        plain ``(time, seq, callback, args)`` tuple.  For hot paths
+        that never cancel (link serialization, CPU-delay completions)
+        this skips two allocations per event."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, callback, args))
+        self._live += 1
+
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`post`)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+        self._live += 1
+
+    def _requeue(self, time: float, seq: int, callback: Callable[[], None]) -> EventHandle:
+        """Push an entry whose ``seq`` was allocated earlier (Timer
+        re-arm support — see :meth:`Timer.start`)."""
+        event = _Event(callback, ())
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
+        return EventHandle(self, event, time)
 
     def run(
         self,
@@ -118,23 +208,43 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        peak = self._peak_queue_len
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
+            while queue:
+                # Heap length only shrinks at pops, so sampling here —
+                # rather than on every push — still observes the true
+                # high-water mark.
+                qlen = len(queue)
+                if qlen > peak:
+                    peak = qlen
+                entry = queue[0]
+                if len(entry) == 4:  # fire-and-forget post
+                    event = None
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        heappop(queue)
+                        continue
+                time = entry[0]
+                if until is not None and time > until:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                event.callback(*event.args)
+                heappop(queue)
+                self._live -= 1
+                self._now = time
+                if event is None:
+                    entry[2](*entry[3])
+                else:
+                    event.queued = False
+                    event.callback(*event.args)
                 self._events_processed += 1
                 processed += 1
         finally:
             self._running = False
+            self._peak_queue_len = peak
         if until is not None and self._now < until:
             stop_early = max_events is not None and processed >= max_events
             if not stop_early:
@@ -144,7 +254,7 @@ class Simulator:
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain.  Guards against runaway loops."""
         self.run(max_events=max_events)
-        if self.pending_events:
+        if self._live:
             raise SimulationError(
                 f"simulation did not go idle within {max_events} events"
             )
@@ -156,31 +266,73 @@ class Timer:
 
     Wraps the schedule/cancel dance that protocol code (retransmission
     timers, delayed ACKs, failure detectors) does constantly.
+
+    Restarting to the same or a later deadline *re-arms in place*: the
+    queued heap entry is left untouched and only the logical deadline
+    (plus a freshly drawn tie-break ``seq``) is recorded.  When the
+    stale entry pops, the timer silently re-queues itself for the real
+    deadline under that saved ``seq``.  Because every ``start`` draws a
+    sequence number exactly like the old cancel+reschedule dance did,
+    tie-break order — and therefore the whole event schedule — is
+    byte-identical to the eager implementation.
     """
+
+    __slots__ = ("_sim", "_callback", "_handle", "_deadline", "_seq")
 
     def __init__(self, sim: Simulator, callback: Callable[[], None]):
         self._sim = sim
         self._callback = callback
         self._handle: Optional[EventHandle] = None
+        self._deadline: Optional[float] = None
+        self._seq = 0
 
     @property
     def running(self) -> bool:
-        return self._handle is not None and not self._handle.cancelled
+        return self._deadline is not None
 
     @property
     def expires_at(self) -> Optional[float]:
-        return self._handle.time if self.running else None
+        return self._deadline
 
     def start(self, delay: float) -> None:
         """(Re)arm the timer ``delay`` seconds from now."""
-        self.stop()
-        self._handle = self._sim.schedule(delay, self._fire)
+        sim = self._sim
+        deadline = sim._now + delay
+        handle = self._handle
+        if (
+            handle is not None
+            and not handle._event.cancelled
+            and deadline >= handle._time
+            and delay >= 0
+        ):
+            # Re-arm in place: keep the queued entry, remember the real
+            # deadline, and consume a seq so tie-breaks match a full
+            # cancel+reschedule.
+            seq = sim._seq
+            sim._seq = seq + 1
+            self._seq = seq
+            self._deadline = deadline
+        else:
+            self.stop()
+            self._handle = sim.schedule(delay, self._entry_fired)
+            self._deadline = deadline
 
     def stop(self) -> None:
+        self._deadline = None
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
 
-    def _fire(self) -> None:
+    def _entry_fired(self) -> None:
+        deadline = self._deadline
+        if deadline is None:  # stopped after the entry was queued
+            self._handle = None
+            return
+        if deadline > self._sim._now:
+            # The entry was stale (timer pushed out since it was queued):
+            # move to the real deadline under the seq drawn at re-arm.
+            self._handle = self._sim._requeue(deadline, self._seq, self._entry_fired)
+            return
         self._handle = None
+        self._deadline = None
         self._callback()

@@ -37,21 +37,28 @@ class Tracer:
     filter:
         Optional predicate over :class:`TraceRecord`; records failing it
         are counted but not stored.
+    per_protocol:
+        When False the per-``"{event}:{protocol}"`` counters (and the
+        key construction they cost on every packet event) are skipped;
+        the plain per-event counters are always kept.
     """
 
     def __init__(
         self,
         keep_records: bool = True,
         filter: Optional[Callable[[TraceRecord], bool]] = None,
+        per_protocol: bool = True,
     ):
         self.records: list[TraceRecord] = []
         self.counters: Counter[str] = Counter()
         self.keep_records = keep_records
         self.filter = filter
+        self.per_protocol = per_protocol
 
     def record(self, time: float, node: str, event: str, packet: IPPacket) -> None:
         self.counters[event] += 1
-        self.counters[f"{event}:{packet.protocol.name}"] += 1
+        if self.per_protocol:
+            self.counters[f"{event}:{packet.protocol.name}"] += 1
         if self.keep_records:
             rec = TraceRecord(time, node, event, packet)
             if self.filter is None or self.filter(rec):
@@ -69,7 +76,12 @@ class Tracer:
 
 
 def trace(sim, node: str, event: str, packet: IPPacket) -> None:
-    """Report a packet event if a tracer is attached to ``sim``."""
-    tracer = getattr(sim, "tracer", None)
+    """Report a packet event if a tracer is attached to ``sim``.
+
+    ``Simulator`` always defines ``tracer`` (default ``None``), so this
+    is a plain attribute load — but packet hot paths go one step
+    further and test ``sim.tracer is None`` inline, which makes the
+    untraced fast path completely call-free."""
+    tracer = sim.tracer
     if tracer is not None:
         tracer.record(sim.now, node, event, packet)

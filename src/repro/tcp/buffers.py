@@ -17,6 +17,7 @@ the stage boundary exists.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from collections import deque
 from typing import Optional
 
@@ -38,7 +39,13 @@ class SendBuffer:
     def __init__(self, capacity: int, preserve_boundaries: bool = False):
         self.capacity = capacity
         self.preserve_boundaries = preserve_boundaries
-        self._chunks: deque[tuple[int, bytes]] = deque()
+        # Parallel arrays: chunk start offsets (sorted, bisect-indexed
+        # by `read`) and the chunk bytes.  `_head` is the index of the
+        # first retained chunk; acked prefixes are trimmed lazily so
+        # `ack_to` never pays a per-chunk list shift.
+        self._starts: list[int] = []
+        self._chunks: list[bytes] = []
+        self._head = 0
         self._base = 0  # lowest retained offset
         self._end = 0  # next append offset
 
@@ -63,8 +70,12 @@ class SendBuffer:
         accept = min(len(data), self.free_space)
         if accept == 0:
             return 0
-        chunk = bytes(data[:accept])
-        self._chunks.append((self._end, chunk))
+        if accept == len(data) and isinstance(data, bytes):
+            chunk = data  # whole-buffer append of immutable bytes: no copy
+        else:
+            chunk = bytes(data[:accept])
+        self._starts.append(self._end)
+        self._chunks.append(chunk)
         self._end += accept
         return accept
 
@@ -75,21 +86,28 @@ class SendBuffer:
             raise BufferError(f"offset {offset} below base {self._base}")
         if offset >= self._end or max_len <= 0:
             return b""
-        pieces: list[bytes] = []
-        remaining = max_len
-        for start, chunk in self._chunks:
-            chunk_end = start + len(chunk)
-            if chunk_end <= offset:
-                continue
-            begin = max(0, offset - start)
-            piece = chunk[begin : begin + remaining]
-            if self.preserve_boundaries:
-                return piece
-            pieces.append(piece)
-            remaining -= len(piece)
-            offset += len(piece)
-            if remaining == 0:
-                break
+        starts = self._starts
+        chunks = self._chunks
+        # Last chunk whose start is <= offset; chunks are contiguous, so
+        # it contains `offset`.
+        i = bisect_right(starts, offset, self._head) - 1
+        chunk = chunks[i]
+        piece = chunk[offset - starts[i] : offset - starts[i] + max_len]
+        if self.preserve_boundaries or len(piece) == max_len or offset + len(piece) == self._end:
+            return piece
+        pieces = [piece]
+        remaining = max_len - len(piece)
+        n = len(chunks)
+        i += 1
+        while remaining > 0 and i < n:
+            chunk = chunks[i]
+            if len(chunk) <= remaining:
+                pieces.append(chunk)
+                remaining -= len(chunk)
+            else:
+                pieces.append(chunk[:remaining])
+                remaining = 0
+            i += 1
         return b"".join(pieces)
 
     def ack_to(self, offset: int) -> None:
@@ -99,12 +117,16 @@ class SendBuffer:
         if offset <= self._base:
             return
         self._base = offset
-        while self._chunks:
-            start, chunk = self._chunks[0]
-            if start + len(chunk) <= offset:
-                self._chunks.popleft()
-            else:
-                break
+        starts, chunks = self._starts, self._chunks
+        head, n = self._head, len(chunks)
+        while head < n and starts[head] + len(chunks[head]) <= offset:
+            head += 1
+        self._head = head
+        # Compact once the dead prefix dominates the arrays.
+        if head > 32 and head * 2 >= n:
+            del starts[:head]
+            del chunks[:head]
+            self._head = 0
 
 
 class Reassembler:
@@ -120,8 +142,12 @@ class Reassembler:
         self._staged_size = 0
         self._in_order_end = 0  # next expected stream offset
         self._take_point = 0  # offset of first staged byte
-        # Disjoint, sorted out-of-order fragments: offset -> bytes.
+        # Disjoint out-of-order fragments: offset -> bytes, with the
+        # offsets mirrored in a sorted list so inserts, drains, and
+        # SACK-block builds never re-sort the whole map.
         self._fragments: dict[int, bytes] = {}
+        self._frag_offsets: list[int] = []
+        self._ooo_bytes = 0
         self.duplicate_bytes = 0
 
     @property
@@ -138,14 +164,15 @@ class Reassembler:
 
     @property
     def out_of_order_bytes(self) -> int:
-        return sum(len(f) for f in self._fragments.values())
+        return self._ooo_bytes
 
     def out_of_order_ranges(self) -> list[tuple[int, int]]:
         """Disjoint [start, end) stream ranges held beyond the in-order
         point — the material of SACK blocks."""
         ranges: list[tuple[int, int]] = []
-        for offset in sorted(self._fragments):
-            end = offset + len(self._fragments[offset])
+        fragments = self._fragments
+        for offset in self._frag_offsets:
+            end = offset + len(fragments[offset])
             if ranges and ranges[-1][1] == offset:
                 ranges[-1] = (ranges[-1][0], end)
             else:
@@ -173,32 +200,64 @@ class Reassembler:
         overlap with existing fragments (existing bytes win — they are
         identical in honest TCP anyway)."""
         end = offset + len(data)
-        for frag_off in sorted(self._fragments):
-            if offset >= end:
-                return
-            frag = self._fragments[frag_off]
-            frag_end = frag_off + len(frag)
-            if frag_end <= offset or frag_off >= end:
+        fragments = self._fragments
+        offsets = self._frag_offsets
+        # First existing fragment that can overlap [offset, end): start
+        # at the last fragment beginning at or before `offset` (it may
+        # reach past `offset`), found by bisection instead of a scan.
+        i = bisect_right(offsets, offset) - 1
+        if i >= 0:
+            frag_off = offsets[i]
+            if frag_off + len(fragments[frag_off]) <= offset:
+                i += 1
+        else:
+            i = 0
+        inserts: list[tuple[int, bytes]] = []
+        while offset < end and i < len(offsets):
+            frag_off = offsets[i]
+            if frag_off >= end:
+                break
+            frag_end = frag_off + len(fragments[frag_off])
+            if frag_end <= offset:
+                i += 1
                 continue
-            # Overlap: keep the non-overlapping head, recurse past it.
+            # Overlap: keep the non-overlapping head, step past it.
             if offset < frag_off:
-                self._fragments[offset] = data[: frag_off - offset]
+                inserts.append((offset, data[: frag_off - offset]))
             overlap = min(end, frag_end) - max(offset, frag_off)
             self.duplicate_bytes += max(0, overlap)
             new_offset = frag_end
             data = data[max(0, new_offset - offset) :]
             offset = new_offset
+            i += 1
         if offset < end and data:
-            self._fragments[offset] = data
+            inserts.append((offset, data))
+        for ins_off, piece in inserts:
+            fragments[ins_off] = piece
+            insort(offsets, ins_off)
+            self._ooo_bytes += len(piece)
 
     def _drain_in_order(self) -> int:
-        gained = 0
-        while self._in_order_end in self._fragments:
-            frag = self._fragments.pop(self._in_order_end)
-            self._staged.append(frag)
-            self._staged_size += len(frag)
-            self._in_order_end += len(frag)
-            gained += len(frag)
+        offsets = self._frag_offsets
+        fragments = self._fragments
+        expected = self._in_order_end
+        k = 0
+        pieces: list[bytes] = []
+        while k < len(offsets) and offsets[k] == expected:
+            frag = fragments.pop(expected)
+            pieces.append(frag)
+            expected += len(frag)
+            k += 1
+        if not k:
+            return 0
+        del offsets[:k]
+        gained = expected - self._in_order_end
+        self._in_order_end = expected
+        self._staged_size += gained
+        self._ooo_bytes -= gained
+        # Coalesce fragments that drain together into one staged chunk
+        # so downstream take()/deposit handle fewer, larger pieces.
+        self._staged.append(pieces[0] if k == 1 else b"".join(pieces))
         return gained
 
     def take(self, max_bytes: Optional[int] = None) -> bytes:

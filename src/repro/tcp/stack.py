@@ -15,7 +15,7 @@ from typing import Callable, Optional
 
 from repro.netsim.addressing import IPAddress, as_address
 from repro.netsim.host import Host
-from repro.netsim.packet import IPPacket, Protocol, TCPFlags, TCPSegment
+from repro.netsim.packet import FLAG_ACK, FLAG_RST, IPPacket, Protocol, TCPSegment
 
 from .options import TcpOptions
 from .seqnum import seq_add
@@ -250,11 +250,11 @@ class TcpStack:
     def _send_rst_for(self, packet: IPPacket, segment: TCPSegment) -> None:
         self.resets_sent += 1
         if segment.has_ack:
-            seq, ack, flags = segment.ack, 0, TCPFlags.RST
+            seq, ack, flags = segment.ack, 0, FLAG_RST
         else:
             seq = 0
             ack = seq_add(segment.seq, segment.seq_span)
-            flags = TCPFlags.RST | TCPFlags.ACK
+            flags = FLAG_RST | FLAG_ACK
         rst = TCPSegment(
             src_port=segment.dst_port,
             dst_port=segment.src_port,

@@ -31,7 +31,14 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.netsim.packet import TCPFlags, TCPSegment
+from repro.netsim.packet import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    TCPSegment,
+)
 from repro.netsim.simulator import Timer
 
 from .buffers import Reassembler, SendBuffer, SocketBuffer
@@ -270,7 +277,7 @@ class TcpConnection:
     def abort(self) -> None:
         """Hard close: RST to the peer, everything discarded."""
         if self.state not in (TcpState.CLOSED,) and self.irs is not None:
-            self._emit(self._make_segment(TCPFlags.RST | TCPFlags.ACK))
+            self._emit(self._make_segment(FLAG_RST | FLAG_ACK))
         self._teardown("reset")
 
     @property
@@ -333,17 +340,17 @@ class TcpConnection:
         )
 
     def _make_segment(
-        self, flags: TCPFlags, seq: Optional[int] = None, data: bytes = b""
+        self, flags: int, seq: Optional[int] = None, data: bytes = b""
     ) -> TCPSegment:
         return TCPSegment(
             src_port=self.local_port,
             dst_port=self.remote_port,
             seq=seq if seq is not None else self._seq_for(self.snd_nxt),
-            ack=self._wire_ack() if flags & TCPFlags.ACK else 0,
+            ack=self._wire_ack() if flags & FLAG_ACK else 0,
             flags=flags,
             window=self.advertised_window(),
             data=data,
-            sack_blocks=self._sack_blocks() if flags & TCPFlags.ACK else (),
+            sack_blocks=self._sack_blocks() if flags & FLAG_ACK else (),
         )
 
     def _emit(self, segment: TCPSegment) -> None:
@@ -357,15 +364,15 @@ class TcpConnection:
         self.stack.send_segment(self, segment)
 
     def _send_syn(self) -> None:
-        flags = TCPFlags.SYN
+        flags = FLAG_SYN
         if self.state == TcpState.SYN_RCVD:
-            flags |= TCPFlags.ACK
+            flags |= FLAG_ACK
         seq = self.iss
         segment = TCPSegment(
             src_port=self.local_port,
             dst_port=self.remote_port,
             seq=seq,
-            ack=seq_add(self.irs, 1) if flags & TCPFlags.ACK else 0,
+            ack=seq_add(self.irs, 1) if flags & FLAG_ACK else 0,
             flags=flags,
             window=self.advertised_window(),
             sack_permitted=self.options.sack,
@@ -382,7 +389,7 @@ class TcpConnection:
     def _send_ack_now(self) -> None:
         if self.irs is None:
             return
-        self._emit(self._make_segment(TCPFlags.ACK))
+        self._emit(self._make_segment(FLAG_ACK))
 
     def _schedule_ack(self, immediate: bool, countable: bool = True) -> None:
         if immediate or (not self.options.delayed_ack and countable):
@@ -460,7 +467,7 @@ class TcpConnection:
         self._maybe_send_fin()
 
     def _send_data_segment(self, offset: int, data: bytes, retransmit: bool = False) -> None:
-        flags = TCPFlags.ACK | TCPFlags.PSH
+        flags = FLAG_ACK | FLAG_PSH
         segment = self._make_segment(flags, seq=self._seq_for(offset), data=data)
         end = offset + len(data)
         # After a go-back-N pointer reset, ordinary output below the
@@ -502,7 +509,7 @@ class TcpConnection:
             return
         self.fin_sent = True
         segment = self._make_segment(
-            TCPFlags.FIN | TCPFlags.ACK, seq=self._seq_for(self.snd_nxt)
+            FLAG_FIN | FLAG_ACK, seq=self._seq_for(self.snd_nxt)
         )
         self._emit(segment)
         if self.state == TcpState.ESTABLISHED:
@@ -574,7 +581,7 @@ class TcpConnection:
             self.retransmitted_segments += 1
             self._emit(
                 self._make_segment(
-                    TCPFlags.FIN | TCPFlags.ACK, seq=self._seq_for(self._fin_offset())
+                    FLAG_FIN | FLAG_ACK, seq=self._seq_for(self._fin_offset())
                 )
             )
 

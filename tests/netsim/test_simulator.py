@@ -157,6 +157,56 @@ def test_pending_events_counts_uncancelled():
     assert sim.pending_events == 1
 
 
+def test_post_and_schedule_tie_break_by_insertion_order():
+    """Fire-and-forget posts share the (time, seq) ordering with
+    cancellable events — mixing the two must keep insertion order."""
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.post(1.0, order.append, "b")
+    sim.schedule_at(1.0, order.append, "c")
+    sim.post_at(1.0, order.append, "d")
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_post_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.post(-0.1, lambda: None)
+
+
+def test_post_at_rejects_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post_at(0.5, lambda: None)
+
+
+def test_peak_queue_len_high_water_mark():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.post(6.0, lambda: None)
+    sim.run()
+    assert sim.peak_queue_len == 6
+
+
+def test_compaction_preserves_order_and_live_events():
+    """Cancelling most of a large heap triggers in-place compaction;
+    the surviving events must still run in order."""
+    sim = Simulator()
+    order = []
+    handles = [sim.schedule(float(i), order.append, i) for i in range(200)]
+    for i, h in enumerate(handles):
+        if i % 10:
+            h.cancel()
+    assert sim.pending_events == 20
+    sim.run()
+    assert order == list(range(0, 200, 10))
+
+
 class TestTimer:
     def test_fires_once(self):
         sim = Simulator()
@@ -206,3 +256,90 @@ class TestTimer:
         timer.start(1.0)
         sim.run()
         assert fired == [1.0, 2.0, 3.0]
+
+
+class TestTimerRearm:
+    """Re-arm-in-place semantics: restarting a running timer to the
+    same or a later deadline leaves the queued heap entry untouched,
+    yet externally behaves exactly like cancel + reschedule."""
+
+    def test_restart_to_earlier_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(5.0)
+        timer.start(1.0)  # earlier: falls back to cancel + reschedule
+        sim.run()
+        assert fired == [1.0]
+
+    def test_restart_after_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(2.0)
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+    def test_stop_start_race_with_stale_entry(self):
+        """Stop + restart while a stale (re-armed past) entry is still
+        queued: the timer fires once, at the newest deadline only."""
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.start(5.0)  # re-arms in place; stale entry stays at 1.0
+        timer.stop()
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+        assert sim.pending_events == 0
+
+    def test_stop_after_in_place_rearm(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.start(5.0)
+        timer.stop()
+        assert not timer.running
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_rearm_consumes_seq_like_reschedule(self):
+        """The deterministic-schedule contract: a re-armed timer draws
+        its tie-break seq at start() time, so it still fires before an
+        event scheduled (at the same instant) after the restart."""
+        sim = Simulator()
+        order = []
+        timer = Timer(sim, lambda: order.append("timer"))
+        timer.start(1.0)
+        timer.start(2.0)  # in-place re-arm draws a seq here
+        sim.schedule_at(2.0, order.append, "event")
+        sim.run()
+        assert order == ["timer", "event"]
+
+    def test_retransmission_style_pushback(self):
+        """The RTO/heartbeat pattern the fast path exists for: the
+        deadline is pushed out repeatedly and the timer fires exactly
+        once, at the final deadline."""
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        for i in range(1, 6):  # pushes at 0.4, 0.8, ... 2.0
+            sim.schedule(0.4 * i, timer.start, 1.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_expires_at_tracks_rearm(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        timer.start(4.0)
+        assert timer.running
+        assert timer.expires_at == 4.0
+        sim.run()
+        assert timer.expires_at is None

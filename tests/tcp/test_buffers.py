@@ -68,6 +68,45 @@ class TestSendBuffer:
         buf.append(b"abc")
         assert buf.read(3, 10) == b""
 
+    def test_whole_append_of_bytes_skips_copy(self):
+        data = b"x" * 50
+        buf = SendBuffer(100)
+        assert buf.append(data) == 50
+        assert buf._chunks[-1] is data  # stored by reference, not copied
+        assert buf.read(0, 50) == data
+
+    def test_partial_or_mutable_append_still_copies(self):
+        big = b"y" * 100
+        buf = SendBuffer(60)
+        assert buf.append(big) == 60
+        assert buf._chunks[-1] == b"y" * 60
+        assert buf._chunks[-1] is not big
+        mutable = bytearray(b"abcd")
+        buf2 = SendBuffer(100)
+        buf2.append(mutable)
+        mutable[0] = ord("z")  # caller mutation must not leak in
+        assert buf2.read(0, 4) == b"abcd"
+
+    def test_boundary_preservation_with_zero_copy_appends(self):
+        buf = SendBuffer(100, preserve_boundaries=True)
+        buf.append(b"aaaa")
+        buf.append(b"bbbb")
+        buf.append(bytearray(b"cc"))
+        assert buf.read(0, 10) == b"aaaa"
+        assert buf.read(4, 10) == b"bbbb"
+        assert buf.read(8, 10) == b"cc"
+
+    def test_ack_compaction_keeps_reads_correct(self):
+        buf = SendBuffer(10_000)
+        payload = bytes(range(256)) * 4  # 1024 B in 128 appends of 8
+        for i in range(0, len(payload), 8):
+            buf.append(payload[i : i + 8])
+        buf.ack_to(800)  # trims 100 chunks, past the compaction trigger
+        assert buf.base == 800
+        assert buf.read(800, 224) == payload[800:]
+        buf.append(b"tail")
+        assert buf.read(1024, 4) == b"tail"
+
 
 class TestReassembler:
     def test_in_order(self):
@@ -143,6 +182,66 @@ class TestReassembler:
         expected_end = min(expected_end, 100)
         assert r.in_order_end == expected_end
         assert r.take() == stream[:expected_end]
+
+
+class TestReassemblerAdversarial:
+    """Worst-case arrival orders for the sorted-offset fragment index."""
+
+    def test_fully_reversed_arrival(self):
+        """Every segment arrives in exactly reversed order: nothing
+        drains until the first segment lands, the out-of-order
+        accounting matches the held ranges throughout, and the stream
+        comes out intact with zero duplicate bytes."""
+        seg = 100
+        payload = bytes(range(256)) * 25  # 6400 B
+        offsets = list(range(0, len(payload), seg))
+        r = Reassembler()
+        for off in reversed(offsets):
+            gained = r.add(off, payload[off : off + seg])
+            if off > 0:
+                assert gained == 0
+                ranges = r.out_of_order_ranges()
+                assert ranges == [(off, len(payload))]
+                assert r.out_of_order_bytes == len(payload) - off
+            else:
+                assert gained == len(payload)
+        assert r.take() == payload
+        assert r.duplicate_bytes == 0
+        assert r.out_of_order_bytes == 0
+        assert r.out_of_order_ranges() == []
+
+    def test_reversed_arrival_with_full_retransmissions(self):
+        """The same reversed stream, every segment sent twice (a
+        retransmission storm): the stream is still intact and the
+        duplicate accounting is exactly one extra copy of each byte."""
+        seg = 64
+        payload = bytes(range(256)) * 8  # 2048 B
+        r = Reassembler()
+        for off in reversed(range(0, len(payload), seg)):
+            r.add(off, payload[off : off + seg])
+            r.add(off, payload[off : off + seg])
+        assert r.take() == payload
+        assert r.duplicate_bytes == len(payload)
+        assert r.out_of_order_bytes == 0
+
+    def test_interleaved_gaps_track_sack_ranges(self):
+        """Alternating even/odd segments: the range list reflects the
+        comb of gaps, then collapses once the odd segments land."""
+        seg = 10
+        payload = bytes(range(200))
+        evens = [off for off in range(0, 200, seg) if (off // seg) % 2 == 0]
+        odds = [off for off in range(0, 200, seg) if (off // seg) % 2 == 1]
+        r = Reassembler()
+        for off in evens[1:]:  # hold back segment 0 so nothing drains
+            r.add(off, payload[off : off + seg])
+        assert r.out_of_order_ranges() == [(off, off + seg) for off in evens[1:]]
+        assert r.out_of_order_bytes == seg * len(evens[1:])
+        for off in odds:
+            r.add(off, payload[off : off + seg])
+        assert r.out_of_order_ranges() == [(seg, 200)]
+        r.add(0, payload[:seg])
+        assert r.take() == payload
+        assert r.duplicate_bytes == 0
 
 
 class TestSocketBuffer:
