@@ -77,10 +77,10 @@ class _RedirectorTable(dict):
 
     The data-path hooks run for every forwarded packet; looking up via
     a tuple avoids constructing and hashing a ``ServiceKey`` dataclass
-    per packet.  Mutations must go through ``[]=`` / ``del`` / ``pop``
-    — which every caller (the install/remove API and the management
-    daemon's table sync) already does.  Entries mutated in place keep
-    their identity, so the mirror stays valid without a rebuild.
+    per packet.  Every mutating ``dict`` method is overridden to keep
+    the mirror in sync, so a future caller cannot silently desync it.
+    Entries mutated in place keep their identity, so the mirror stays
+    valid without a rebuild.
     """
 
     def __init__(self):
@@ -98,6 +98,29 @@ class _RedirectorTable(dict):
     def pop(self, key: ServiceKey, *default):
         self.fast.pop((key.ip._value, key.port), None)
         return super().pop(key, *default)
+
+    def popitem(self):
+        key, entry = super().popitem()
+        self.fast.pop((key.ip._value, key.port), None)
+        return key, entry
+
+    def clear(self) -> None:
+        super().clear()
+        self.fast.clear()
+
+    def update(self, *args, **kwargs) -> None:
+        # Route through __setitem__ so the mirror sees every entry.
+        for key, entry in dict(*args, **kwargs).items():
+            self[key] = entry
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+    def setdefault(self, key: ServiceKey, default=None):
+        if key not in self:
+            self[key] = default
+        return super().__getitem__(key)
 
 
 class Redirector(Router):

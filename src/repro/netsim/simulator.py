@@ -203,6 +203,12 @@ class Simulator:
         Returns the virtual time when the run stopped.  When ``until``
         is given the clock is advanced to ``until`` even if the queue
         drained earlier (matching how wall-clock time would pass).
+
+        Note on accounting: a stale :class:`Timer` entry (one whose
+        timer was re-armed in place to a later deadline) pops as a
+        counted no-op that re-queues the timer, so ``events_processed``
+        and the ``max_events`` budget include these — event counts can
+        differ slightly from an engine that cancels eagerly.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -252,7 +258,12 @@ class Simulator:
         return self._now
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
-        """Run until no events remain.  Guards against runaway loops."""
+        """Run until no events remain.  Guards against runaway loops.
+
+        ``max_events`` counts stale re-armed :class:`Timer` pops too
+        (see :meth:`run`), so extremely timer-heavy workloads consume
+        the budget slightly faster than their live event count.
+        """
         self.run(max_events=max_events)
         if self._live:
             raise SimulationError(
@@ -267,14 +278,17 @@ class Timer:
     Wraps the schedule/cancel dance that protocol code (retransmission
     timers, delayed ACKs, failure detectors) does constantly.
 
-    Restarting to the same or a later deadline *re-arms in place*: the
+    Restarting to a *strictly later* deadline re-arms in place: the
     queued heap entry is left untouched and only the logical deadline
     (plus a freshly drawn tie-break ``seq``) is recorded.  When the
     stale entry pops, the timer silently re-queues itself for the real
     deadline under that saved ``seq``.  Because every ``start`` draws a
     sequence number exactly like the old cancel+reschedule dance did,
     tie-break order — and therefore the whole event schedule — is
-    byte-identical to the eager implementation.
+    byte-identical to the eager implementation.  Restarting to an
+    *equal* (or earlier) deadline falls back to cancel+reschedule: an
+    in-place re-arm would fire under the old entry's seq, ordering the
+    timer ahead of events scheduled between the two ``start`` calls.
     """
 
     __slots__ = ("_sim", "_callback", "_handle", "_deadline", "_seq")
@@ -302,7 +316,7 @@ class Timer:
         if (
             handle is not None
             and not handle._event.cancelled
-            and deadline >= handle._time
+            and deadline > handle._time
             and delay >= 0
         ):
             # Re-arm in place: keep the queued entry, remember the real

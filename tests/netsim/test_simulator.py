@@ -259,8 +259,8 @@ class TestTimer:
 
 
 class TestTimerRearm:
-    """Re-arm-in-place semantics: restarting a running timer to the
-    same or a later deadline leaves the queued heap entry untouched,
+    """Re-arm-in-place semantics: restarting a running timer to a
+    strictly later deadline leaves the queued heap entry untouched,
     yet externally behaves exactly like cancel + reschedule."""
 
     def test_restart_to_earlier_deadline(self):
@@ -320,6 +320,34 @@ class TestTimerRearm:
         sim.schedule_at(2.0, order.append, "event")
         sim.run()
         assert order == ["timer", "event"]
+
+    def test_equal_deadline_restart_draws_fresh_seq(self):
+        """Restarting to the *same* deadline must behave like cancel +
+        reschedule: the timer fires under a seq drawn at the restart,
+        so an event scheduled between the two start() calls (at the
+        shared deadline) fires first.  Regression test: an in-place
+        re-arm here would fire the queued entry under its original seq
+        and order the timer ahead of the event."""
+        sim = Simulator()
+        order = []
+        timer = Timer(sim, lambda: order.append("timer"))
+        timer.start(1.0)
+        sim.schedule_at(1.0, order.append, "event")
+        timer.start(1.0)  # equal deadline: falls back to cancel+reschedule
+        sim.run()
+        assert order == ["event", "timer"]
+
+    def test_equal_deadline_restart_at_zero_delay(self):
+        """Same contract with delay=0 (ZERO_COST-style collapsed
+        timestamps): the last start() wins the tie-break draw."""
+        sim = Simulator()
+        order = []
+        timer = Timer(sim, lambda: order.append("timer"))
+        timer.start(0.0)
+        sim.schedule_at(0.0, order.append, "event")
+        timer.start(0.0)
+        sim.run()
+        assert order == ["event", "timer"]
 
     def test_retransmission_style_pushback(self):
         """The RTO/heartbeat pattern the fast path exists for: the
