@@ -16,11 +16,17 @@ def main() -> int:
         from repro.experiments.runner import main as run_experiments
 
         return run_experiments(args[1:])
+    if args and args[0] == "fuzz":
+        from repro.invariants.fuzz import main as run_fuzz
+
+        return run_fuzz(args[1:])
     import repro
 
     print(repro.__doc__)
     print("commands:")
     print("  python -m repro experiments [--fast]   run the full evaluation")
+    print("  python -m repro fuzz --runs N --seed S fuzz fault schedules w/ monitors")
+    print("  python -m repro fuzz --replay FILE     replay a saved reproducer")
     print("  python -m repro.experiments.figure4    just the paper's Figure 4")
     print("  python -m repro.experiments.recovery   D3 autonomous recovery demo")
     print("  pytest tests/                          the test suite")

@@ -95,6 +95,9 @@ class AckChannelEndpoint:
         self._dispatch(data, src_ip)
 
     def _dispatch(self, data: AckChannelMessage, src_ip: IPAddress) -> None:
+        invariants = self.sim.invariants
+        if invariants is not None:
+            invariants.on_ack_channel_message(data, src_ip)
         handler = self._handlers.get((data.service_ip, data.service_port))
         if handler is None:
             self.messages_unclaimed += 1

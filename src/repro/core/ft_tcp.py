@@ -129,6 +129,9 @@ class FtConnectionState:
     def record_deposit(self, start: int, data: bytes) -> None:
         """TCB deposit hook: log the client bytes and forward them to
         any replica currently catching up on this connection."""
+        invariants = self.port.sim.invariants
+        if invariants is not None:
+            invariants.on_deposit(self, start, data)
         self.catchup_log.record(start, data)
         self.port._forward_delta(self, start, data)
 
@@ -178,6 +181,9 @@ class FtConnectionState:
 
     def _apply_wire(self, seq_next: int, ack: int) -> None:
         conn = self.conn
+        invariants = self.port.sim.invariants
+        if invariants is not None:
+            invariants.on_successor_report(self, seq_next, ack)
         sent = seq_diff(seq_next, seq_add(conn.iss, 1))
         deposited = seq_diff(ack, seq_add(conn.irs, 1))
         if sent > self.successor_sent_upto:
@@ -389,6 +395,9 @@ class FtPort:
             # The primary talks to the client normally, stamping its
             # view epoch so the redirector can fence stale output.
             segment.epoch = self.epoch
+            invariants = self.sim.invariants
+            if invariants is not None:
+                invariants.on_client_segment(self, state, segment)
             return False
         message = AckChannelMessage(
             service_ip=self.service_ip,
@@ -767,6 +776,9 @@ class FtPort:
         if not self.is_primary:
             self.mode = PortMode.PRIMARY
             self.promotions += 1
+            invariants = self.sim.invariants
+            if invariants is not None:
+                invariants.on_promotion(self)
         for state in list(self.states.values()):
             state.conn.kick()
 

@@ -22,19 +22,46 @@ class FaultEvent:
 
 
 class FaultPlan:
-    """A declarative schedule of faults; keeps a log of what fired."""
+    """A declarative schedule of faults; keeps a log of what fired.
+
+    Schedules are validated at declaration time: negative times are
+    rejected, and overlapping crash windows on the same host (which
+    would silently double-crash it and un-crash it at the *first*
+    recovery) raise ``ValueError`` instead of producing a plan that
+    does not mean what it says.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.log: list[FaultEvent] = []
+        #: host name -> [(crash time, recovery time)]; an open-ended
+        #: ``crash_at`` holds ``inf`` until a ``recover_at`` trims it.
+        self._crash_windows: dict[str, list[list[float]]] = {}
 
     def _record(self, kind: str, target: str) -> None:
         self.log.append(FaultEvent(self.sim.now, kind, target))
+
+    @staticmethod
+    def _check_time(at: float, what: str = "fault time") -> None:
+        if at < 0:
+            raise ValueError(f"{what} must be >= 0, got {at}")
+
+    def _reserve_crash_window(self, host: Host, start: float, end: float) -> None:
+        windows = self._crash_windows.setdefault(host.name, [])
+        for s, e in windows:
+            if start < e and s < end:
+                raise ValueError(
+                    f"crash window [{start}, {end}) for {host.name} overlaps "
+                    f"an existing window [{s}, {e})"
+                )
+        windows.append([start, end])
 
     # -- host faults ------------------------------------------------------
 
     def crash_at(self, host: Host, at: float) -> None:
         """Fail-stop crash at absolute time ``at``."""
+        self._check_time(at, "crash time")
+        self._reserve_crash_window(host, at, float("inf"))
 
         def fire() -> None:
             host.crash()
@@ -43,6 +70,17 @@ class FaultPlan:
         self.sim.schedule_at(at, fire)
 
     def recover_at(self, host: Host, at: float) -> None:
+        self._check_time(at, "recovery time")
+        # Close the newest open-ended window this recovery ends, so a
+        # later crash of the same host doesn't falsely overlap it.
+        candidates = [
+            w
+            for w in self._crash_windows.get(host.name, [])
+            if w[1] == float("inf") and w[0] <= at
+        ]
+        if candidates:
+            max(candidates, key=lambda w: w[0])[1] = at
+
         def fire() -> None:
             host.recover()
             self._record("recover", host.name)
@@ -51,6 +89,8 @@ class FaultPlan:
 
     def crash_for(self, host: Host, at: float, duration: float) -> None:
         """Transient outage (e.g. reboot): crash then recover."""
+        if duration <= 0:
+            raise ValueError(f"outage duration must be > 0, got {duration}")
         self.crash_at(host, at)
         self.recover_at(host, at + duration)
 

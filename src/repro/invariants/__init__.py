@@ -1,0 +1,44 @@
+"""Runtime invariant monitors and the fault-schedule fuzzer.
+
+The paper's §4 guarantees are safety invariants; this package turns
+them into machine-checked properties that hold *during* execution, not
+just at the end of a scenario:
+
+* :class:`AtomicityMonitor` — no replica deposits byte ``k`` (and the
+  client is never ACKed byte ``k``) before the successor reported an
+  acknowledgement beyond ``k``; the last backup is exempt.
+* :class:`OutputOrderingMonitor` — the primary sends byte ``k`` of the
+  response only after the successor reported sequence ≥ ``k``; backup
+  payload never reaches the client path.
+* :class:`SinglePrimaryMonitor` — at most one live primary per
+  ``(service_ip, port)`` epoch, and stale-epoch segments really are
+  fenced at the redirector.
+* :class:`StreamIntegrityMonitor` — the replicas' deposited client
+  streams are identical prefixes of one canonical stream.
+
+Arm them with :func:`attach_invariants`; detached (the default) they
+cost nothing — ``sim.invariants`` is a plain attribute that hook sites
+test inline, exactly like ``sim.tracer`` (DESIGN.md §10/§11).
+"""
+
+from .monitors import (
+    AtomicityMonitor,
+    InvariantSet,
+    InvariantViolationError,
+    OutputOrderingMonitor,
+    SinglePrimaryMonitor,
+    StreamIntegrityMonitor,
+    Violation,
+    attach_invariants,
+)
+
+__all__ = [
+    "AtomicityMonitor",
+    "InvariantSet",
+    "InvariantViolationError",
+    "OutputOrderingMonitor",
+    "SinglePrimaryMonitor",
+    "StreamIntegrityMonitor",
+    "Violation",
+    "attach_invariants",
+]

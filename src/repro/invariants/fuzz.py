@@ -1,0 +1,596 @@
+"""Deterministic fault-schedule fuzzer (DESIGN.md §11).
+
+A scenario is a plain-data :class:`ScenarioSpec`: topology knobs
+(backups, loss, latency, MTU), a workload (echo request/response or a
+one-way ttcp stream), and a fault schedule drawn from the repertoire of
+:class:`~repro.faults.FaultPlan`.  ``run_scenario`` builds the system,
+arms the invariant monitors (:mod:`repro.invariants.monitors`), applies
+the schedule, and returns the violations plus a protocol-level
+fingerprint (client bytes + canonical replica streams) that is stable
+across engine changes and ``REPRO_SEED_OFFSET`` values — the fuzzer
+derives every seed itself and deliberately ignores that variable.
+
+On a violation, :mod:`repro.invariants.shrink` delta-debugs the fault
+schedule and workload down to a minimal reproducer, serialized as JSON
+into ``tests/fuzz_corpus/`` and replayable with
+``python -m repro fuzz --replay FILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.apps.echo import echo_server_factory
+from repro.apps.ttcp import TTCP_TCP_OPTIONS, TtcpSender, ttcp_sink_factory
+from repro.core import DetectorParams, FtNode, ReplicatedTcpService
+from repro.experiments.testbeds import (
+    CLIENT_486,
+    LINK_BANDWIDTH,
+    LINK_QUEUE,
+    REDIRECTOR_486,
+    SERVER_P120,
+    SERVICE_IP,
+    FtSystem,
+)
+from repro.faults import FaultPlan
+from repro.hydranet import HostServer, Redirector, RedirectorDaemon
+from repro.netsim import Simulator, Topology
+from repro.sockets import node_for
+
+from .monitors import attach_invariants
+
+#: Default location of the committed reproducer corpus.
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+
+SPEC_VERSION = 1
+
+
+@dataclass
+class ScenarioSpec:
+    """One fuzz scenario: everything needed to replay it exactly."""
+
+    seed: int
+    n_backups: int = 1
+    n_spares: int = 0
+    loss: float = 0.0
+    latency: float = 0.0005
+    mtu: int = 1500
+    workload: dict = field(
+        default_factory=lambda: {"kind": "echo", "total_bytes": 40_000, "chunk": 2048}
+    )
+    duration: float = 30.0
+    faults: list = field(default_factory=list)
+    version: int = SPEC_VERSION
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ScenarioSpec":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)
+
+
+@dataclass
+class ScenarioResult:
+    spec: ScenarioSpec
+    violations: list
+    violated_monitors: list
+    fingerprint: str
+    client_received: int
+    stats: dict
+
+
+# -- scenario generation ----------------------------------------------------
+
+
+def _gen_faults(rng: random.Random, n_backups: int, duration: float) -> list:
+    """Draw a fault schedule.  Times are absolute (traffic starts at
+    t=2.0 after registration).  Weighted towards partitioning the
+    primary's link — the schedules that exercise promotion, fencing and
+    the split-brain machinery hardest."""
+    faults = []
+    hosts = [f"hs_{i}" for i in range(1 + n_backups)]
+    crashed: set = set()
+    n_ops = rng.randint(1, 3)
+    for _ in range(n_ops):
+        # Transfers complete within a few seconds of traffic start
+        # (t=2.0), so faults land early — mid-transfer, where the
+        # promotion/fencing/retransmission races live.
+        at = round(2.0 + rng.uniform(0.2, 3.0), 3)
+        roll = rng.random()
+        if roll < 0.30 and n_backups >= 1:
+            faults.append(
+                {
+                    "op": "partition",
+                    "link": "hs_0",
+                    "at": at,
+                    "duration": round(rng.uniform(3.0, 10.0), 3),
+                }
+            )
+        elif roll < 0.45 and n_backups >= 1:
+            faults.append(
+                {
+                    "op": "partition_oneway",
+                    "link": "hs_0",
+                    # a is the redirector: a_to_b deafens the replica
+                    # while it can still transmit — the split-brain case.
+                    "direction": rng.choice(["a_to_b", "b_to_a"]),
+                    "at": at,
+                    "duration": round(rng.uniform(3.0, 10.0), 3),
+                }
+            )
+        elif roll < 0.65:
+            victims = [h for h in hosts if h not in crashed]
+            if not victims:
+                continue
+            victim = rng.choice(victims)
+            crashed.add(victim)
+            if rng.random() < 0.5:
+                faults.append({"op": "crash", "target": victim, "at": at})
+            else:
+                d = round(rng.uniform(3.0, 10.0), 3)
+                faults.append(
+                    {"op": "crash_for", "target": victim, "at": at, "duration": d}
+                )
+                if rng.random() < 0.4:
+                    faults.append(
+                        {
+                            "op": "recommission",
+                            "target": victim,
+                            "at": round(at + d + rng.uniform(0.5, 2.0), 3),
+                        }
+                    )
+        elif roll < 0.80:
+            link = rng.choice(["client"] + hosts)
+            faults.append(
+                {
+                    "op": "loss_burst",
+                    "link": link,
+                    "at": at,
+                    "duration": round(rng.uniform(0.5, 3.0), 3),
+                    "loss_rate": round(rng.uniform(0.3, 1.0), 3),
+                }
+            )
+        elif roll < 0.92 and n_backups >= 1:
+            link = rng.choice([f"hs_{i}" for i in range(1, 1 + n_backups)])
+            faults.append(
+                {
+                    "op": "partition",
+                    "link": link,
+                    "at": at,
+                    "duration": round(rng.uniform(1.0, 6.0), 3),
+                }
+            )
+        else:
+            victims = [h for h in hosts if h not in crashed]
+            if not victims:
+                continue
+            victim = rng.choice(victims)
+            crashed.add(victim)
+            faults.append(
+                {
+                    "op": "crash_cycle",
+                    "target": victim,
+                    "start": at,
+                    "period": round(rng.uniform(4.0, 8.0), 3),
+                    "downtime": round(rng.uniform(1.0, 3.0), 3),
+                    "count": rng.randint(2, 3),
+                }
+            )
+    faults.sort(key=lambda f: f.get("at", f.get("start", 0.0)))
+    return faults
+
+
+def generate_spec(scenario_seed: int) -> ScenarioSpec:
+    """Derive one scenario deterministically from ``scenario_seed``.
+    No environment input: the same seed is the same scenario on every
+    machine and under every ``REPRO_SEED_OFFSET``."""
+    rng = random.Random(scenario_seed * 2654435761 % (2**31))
+    n_backups = rng.choices([0, 1, 2, 3], weights=[5, 45, 30, 20])[0]
+    if rng.random() < 0.7:
+        workload = {
+            "kind": "echo",
+            "total_bytes": rng.randrange(20_000, 80_000, 4096),
+            "chunk": rng.choice([1024, 2048, 4096]),
+        }
+    else:
+        workload = {
+            "kind": "ttcp",
+            "buflen": rng.choice([256, 1024, 4096]),
+            "nbuf": rng.randint(20, 60),
+        }
+    duration = round(rng.uniform(25.0, 60.0), 1)
+    spec = ScenarioSpec(
+        seed=scenario_seed,
+        n_backups=n_backups,
+        loss=round(rng.uniform(0.0, 0.05), 4) if rng.random() < 0.4 else 0.0,
+        latency=round(rng.uniform(0.0005, 0.005), 5),
+        mtu=rng.choice([1500, 1500, 1500, 576]),
+        workload=workload,
+        duration=duration,
+        faults=_gen_faults(rng, n_backups, duration),
+    )
+    return spec
+
+
+# -- scenario execution ------------------------------------------------------
+
+
+def build_fuzz_system(spec: ScenarioSpec) -> FtSystem:
+    """Like :func:`~repro.experiments.testbeds.build_ft_system` but with
+    the fuzzer's topology knobs and *without* the ``REPRO_SEED_OFFSET``
+    shift — corpus replay must be byte-identical in every environment."""
+    echo = spec.workload.get("kind", "echo") == "echo"
+    factory = echo_server_factory if echo else ttcp_sink_factory
+    port = 7 if echo else 5001
+    sim = Simulator(seed=spec.seed)
+    topo = Topology(sim)
+    link_kw = dict(
+        bandwidth_bps=LINK_BANDWIDTH,
+        latency=spec.latency,
+        queue_capacity=LINK_QUEUE,
+        mtu=spec.mtu,
+    )
+    client = topo.add_host("client", CLIENT_486)
+    redirector = Redirector(sim, "redirector", REDIRECTOR_486)
+    topo.add(redirector)
+    servers = []
+    for i in range(1 + spec.n_backups + spec.n_spares):
+        hs = HostServer(sim, f"hs_{i}", SERVER_P120)
+        topo.add(hs)
+        servers.append(hs)
+    topo.connect(client, redirector, loss_rate=spec.loss, **link_kw)
+    for hs in servers:
+        topo.connect(redirector, hs, **link_kw)
+    topo.add_external_network(f"{SERVICE_IP}/32", redirector)
+    topo.build_routes()
+    daemon = RedirectorDaemon(redirector)
+    nodes = [FtNode(hs, redirector.ip) for hs in servers]
+    spare_nodes = nodes[1 + spec.n_backups :]
+    service = ReplicatedTcpService(
+        SERVICE_IP,
+        port,
+        factory,
+        detector=DetectorParams(threshold=3, cooldown=1.0),
+        tcp_options=TTCP_TCP_OPTIONS,
+    )
+    service.add_primary(nodes[0])
+    for node in nodes[1 : 1 + spec.n_backups]:
+        service.add_backup(node)
+    sim.run(until=2.0)  # registration + chain setup
+    client_node = node_for(client, TTCP_TCP_OPTIONS)
+    return FtSystem(
+        sim,
+        topo,
+        client,
+        client_node,
+        redirector,
+        daemon,
+        servers,
+        nodes,
+        service,
+        SERVICE_IP,
+        port,
+        spare_nodes,
+    )
+
+
+def _apply_faults(system: FtSystem, spec: ScenarioSpec) -> FaultPlan:
+    plan = FaultPlan(system.sim)
+    hosts = {hs.name: hs for hs in system.servers}
+
+    def link_for(name: str):
+        if name == "client":
+            return system.topo.find_link("client", "redirector")
+        return system.topo.find_link("redirector", name)
+
+    for op in spec.faults:
+        kind = op["op"]
+        if kind == "crash":
+            plan.crash_at(hosts[op["target"]], op["at"])
+        elif kind == "crash_for":
+            plan.crash_for(hosts[op["target"]], op["at"], op["duration"])
+        elif kind == "crash_cycle":
+            plan.crash_cycle(
+                hosts[op["target"]],
+                op["start"],
+                op["period"],
+                op["downtime"],
+                op["count"],
+            )
+        elif kind == "partition":
+            plan.partition_at(link_for(op["link"]), op["at"], op.get("duration"))
+        elif kind == "partition_oneway":
+            plan.partition_oneway_at(
+                link_for(op["link"]), op["direction"], op["at"], op.get("duration")
+            )
+        elif kind == "loss_burst":
+            plan.loss_burst(
+                link_for(op["link"]), op["at"], op["duration"], op["loss_rate"]
+            )
+        elif kind == "recommission":
+            target = op["target"]
+
+            def fire(name=target):
+                host = hosts[name]
+                if host.crashed:
+                    host.recover()
+                handle = next(
+                    (
+                        h
+                        for h in system.service.replicas
+                        if h.node.host_server.name == name
+                    ),
+                    None,
+                )
+                if handle is not None:
+                    system.service.recommission(handle)
+
+            system.sim.schedule_at(op["at"], fire)
+        else:
+            raise ValueError(f"unknown fault op {kind!r}")
+    return plan
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Build, arm, fault, and drive one scenario to completion."""
+    system = build_fuzz_system(spec)
+    invset = attach_invariants(system)
+    _apply_faults(system, spec)
+
+    workload = spec.workload
+    got = bytearray()
+    payload = b""
+    if workload.get("kind", "echo") == "echo":
+        total = workload["total_bytes"]
+        chunk = workload.get("chunk", 2048)
+        payload = bytes(i % 251 for i in range(total))
+        conn = system.client_node.connect(system.service_ip, system.port)
+        sent = {"n": 0}
+
+        def pump():
+            while sent["n"] < total:
+                n = conn.send(payload[sent["n"] : sent["n"] + chunk])
+                sent["n"] += n
+                if n == 0:
+                    return
+
+        conn.on_established = pump
+        conn.on_send_space = pump
+        conn.on_data = got.extend
+    else:
+        sender = TtcpSender(
+            system.client_node,
+            system.service_ip,
+            system.port,
+            buflen=workload.get("buflen", 1024),
+            nbuf=workload.get("nbuf", 40),
+        )
+        sender.start()
+
+    system.sim.run(until=2.0 + spec.duration)
+
+    # Safety, not liveness: with every replica dead the client stalls —
+    # fine — but the bytes it *did* get must be the true echo prefix.
+    if payload and bytes(got) != payload[: len(got)]:
+        invset.report(
+            "stream-integrity",
+            f"client received {len(got)} bytes that are not a prefix of "
+            "the echoed payload",
+        )
+
+    fingerprint = hashlib.sha256()
+    fingerprint.update(bytes(got))
+    streams = invset.stream_integrity.digest()
+    fingerprint.update(
+        json.dumps(
+            {
+                "client_len": len(got),
+                "streams": streams,
+                "violations": invset.violated_monitors(),
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    return ScenarioResult(
+        spec=spec,
+        violations=list(invset.violations),
+        violated_monitors=invset.violated_monitors(),
+        fingerprint=fingerprint.hexdigest(),
+        client_received=len(got),
+        stats=dict(invset.stats),
+    )
+
+
+# -- protocol mutations (for the mutation check and corpus triage) -----------
+
+
+@contextmanager
+def _mutate_deposit_gate():
+    """Disable the deposit gate: replicas deposit without waiting for
+    the successor's acknowledgement — the Atomicity monitors must fire."""
+    from repro.core.ft_tcp import FtConnectionState
+
+    original = FtConnectionState.deposit_ceiling
+    FtConnectionState.deposit_ceiling = lambda self: None
+    try:
+        yield
+    finally:
+        FtConnectionState.deposit_ceiling = original
+
+
+@contextmanager
+def _mutate_output_gate():
+    """Disable the output gate: the primary sends response bytes before
+    the successor reported matching sequence numbers."""
+    from repro.core.ft_tcp import FtConnectionState
+
+    original = FtConnectionState.transmit_ceiling
+    FtConnectionState.transmit_ceiling = lambda self: None
+    try:
+        yield
+    finally:
+        FtConnectionState.transmit_ceiling = original
+
+
+@contextmanager
+def _mutate_fence():
+    """Disable the redirector's epoch fence: a partitioned ex-primary's
+    stale segments sail through towards the client — the SinglePrimary
+    monitor's past-the-fence check must fire."""
+    original = Redirector._fence_hook
+    Redirector._fence_hook = lambda self, packet, nic: False
+    try:
+        yield
+    finally:
+        Redirector._fence_hook = original
+
+
+@contextmanager
+def _no_mutation():
+    yield
+
+
+MUTATIONS = {
+    None: _no_mutation,
+    "deposit_gate": _mutate_deposit_gate,
+    "output_gate": _mutate_output_gate,
+    "fence": _mutate_fence,
+}
+
+
+def run_with_mutation(spec: ScenarioSpec, mutation: Optional[str]) -> ScenarioResult:
+    with MUTATIONS[mutation]():
+        return run_scenario(spec)
+
+
+# -- corpus files -------------------------------------------------------------
+
+
+def save_reproducer(
+    path: Path,
+    spec: ScenarioSpec,
+    mutation: Optional[str],
+    mutated_result: ScenarioResult,
+    clean_result: ScenarioResult,
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "spec": spec.to_json(),
+                "found_with_mutation": mutation,
+                "violations_under_mutation": mutated_result.violated_monitors,
+                "mutated_fingerprint": mutated_result.fingerprint,
+                "clean_fingerprint": clean_result.fingerprint,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def load_reproducer(path: Path) -> dict:
+    data = json.loads(Path(path).read_text())
+    data["spec"] = ScenarioSpec.from_json(data["spec"])
+    return data
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Fuzz HydraNet-FT fault schedules with invariant "
+        "monitors armed; shrink and save reproducers on violation.",
+    )
+    parser.add_argument("--runs", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=0, help="base scenario seed")
+    parser.add_argument("--replay", type=Path, help="replay one corpus JSON file")
+    parser.add_argument(
+        "--mutate",
+        choices=sorted(k for k in MUTATIONS if k),
+        help="run with a protocol gate disabled (mutation check / triage)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=CORPUS_DIR, help="reproducer output directory"
+    )
+    parser.add_argument(
+        "--shrink-budget", type=int, default=200, help="max shrink candidate runs"
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        entry = load_reproducer(args.replay)
+        result = run_with_mutation(entry["spec"], args.mutate)
+        print(f"replay {args.replay.name}: fingerprint {result.fingerprint[:16]}…")
+        for violation in result.violations:
+            print(f"  {violation}")
+        if args.mutate is None:
+            expected = entry.get("clean_fingerprint")
+            if result.violations:
+                print("FAIL: violations on unmutated code")
+                return 2
+            if expected and result.fingerprint != expected:
+                print(f"FAIL: fingerprint drifted (expected {expected[:16]}…)")
+                return 3
+            print("OK: clean, fingerprint matches")
+        else:
+            expected = entry.get("mutated_fingerprint")
+            if expected and result.fingerprint != expected:
+                print(f"FAIL: fingerprint drifted (expected {expected[:16]}…)")
+                return 3
+            print(f"violated: {result.violated_monitors or 'nothing'}")
+        return 0
+
+    from .shrink import shrink_spec
+
+    found = 0
+    for i in range(args.runs):
+        scenario_seed = args.seed + i
+        spec = generate_spec(scenario_seed)
+        result = run_with_mutation(spec, args.mutate)
+        tag = ",".join(result.violated_monitors) if result.violations else "ok"
+        print(
+            f"run {i:3d} seed={scenario_seed} backups={spec.n_backups} "
+            f"faults={len(spec.faults)} -> {tag}"
+        )
+        if not result.violations:
+            continue
+        found += 1
+        target = set(result.violated_monitors)
+
+        def reproduces(candidate: ScenarioSpec) -> bool:
+            outcome = run_with_mutation(candidate, args.mutate)
+            return bool(target & set(outcome.violated_monitors))
+
+        small = shrink_spec(spec, reproduces, budget=args.shrink_budget)
+        small_result = run_with_mutation(small, args.mutate)
+        with MUTATIONS[None]():
+            clean_result = run_scenario(small)
+        name = f"{args.mutate or 'found'}-seed{scenario_seed}.json"
+        save_reproducer(
+            args.out / name, small, args.mutate, small_result, clean_result
+        )
+        print(
+            f"  shrunk to {len(small.faults)} fault(s), "
+            f"{small.workload} — saved {name}"
+        )
+        if clean_result.violations:
+            print("  NOTE: reproducer violates on UNMUTATED code — real bug!")
+    print(f"{args.runs} runs, {found} violating")
+    return 1 if (found and args.mutate is None) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

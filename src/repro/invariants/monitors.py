@@ -1,0 +1,411 @@
+"""The invariant monitors (DESIGN.md §11).
+
+Each monitor receives protocol events from hook sites in the ft-TCP
+stack, the acknowledgement channel, and the redirector's data path.
+The monitors keep their *own* view of successor progress, recomputed
+from the raw 32-bit wire values of every acknowledgement-channel
+message — so a bug (or a deliberately disabled gate) in the ft-TCP
+bookkeeping cannot hide a violation from them.
+
+Monitors never schedule events and never mutate protocol state; an
+armed run takes the same event schedule as an unarmed one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.tcp.seqnum import seq_add, seq_diff
+
+if TYPE_CHECKING:
+    from repro.core.ft_tcp import FtConnectionState, FtPort
+    from repro.netsim.packet import IPPacket, TCPSegment
+
+#: Per-connection cap on the canonical stream kept by
+#: :class:`StreamIntegrityMonitor`; beyond it only the length is
+#: tracked (prefix equality of the overflow cannot be checked).
+STREAM_CAP = 4 * 1024 * 1024
+
+
+@dataclass
+class Violation:
+    """One invariant violation, with enough context to triage."""
+
+    monitor: str
+    time: float
+    detail: str
+    conn_key: Optional[tuple] = None
+
+    def __str__(self) -> str:
+        where = f" conn={self.conn_key}" if self.conn_key else ""
+        return f"[{self.monitor}] t={self.time:.6f}{where}: {self.detail}"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by :meth:`InvariantSet.check` when violations were seen."""
+
+
+def _client_key(state: "FtConnectionState") -> tuple:
+    conn = state.conn
+    return (
+        str(state.port.service_ip),
+        state.port.port,
+        str(conn.remote_ip),
+        conn.remote_port,
+    )
+
+
+class _Monitor:
+    """Shared plumbing: monitors report through the owning set."""
+
+    name = "monitor"
+
+    def __init__(self, invset: "InvariantSet"):
+        self.invset = invset
+
+    def report(self, detail: str, conn_key: Optional[tuple] = None) -> None:
+        self.invset.report(self.name, detail, conn_key)
+
+
+class _SuccessorView:
+    """The monitors' independent record of what each connection's
+    successor has reported, recomputed from raw wire values."""
+
+    __slots__ = ("sent_upto", "deposited_upto", "reports")
+
+    def __init__(self):
+        self.sent_upto = 0
+        self.deposited_upto = 0
+        self.reports = 0
+
+
+class AtomicityMonitor(_Monitor):
+    """Paper §4.1: server ``Si`` deposits byte ``k`` only after
+    ``S(i+1)`` acknowledged past ``k``, and the client is ACKed byte
+    ``k`` only after the whole chain deposited it.  The last backup
+    (an ungated connection) is exempt by construction."""
+
+    name = "atomicity"
+
+    def on_deposit(self, state: "FtConnectionState", start: int, data: bytes) -> None:
+        if not state.gated:
+            return  # last backup / ungated joiner replay: deposits freely
+        view = self.invset.successor_view(state)
+        end = start + len(data)
+        if end > view.deposited_upto:
+            self.report(
+                f"deposited stream bytes [{start}, {end}) but the successor "
+                f"only reported {view.deposited_upto} deposited",
+                _client_key(state),
+            )
+
+    def on_client_segment(
+        self, port: "FtPort", state: "FtConnectionState", segment: "TCPSegment"
+    ) -> None:
+        if not state.gated or not segment.has_ack:
+            return
+        conn = state.conn
+        if conn.irs is None:
+            return
+        # Wire ACK → stream offset; our own deposited FIN occupies one
+        # sequence position past the payload.
+        acked = seq_diff(segment.ack, seq_add(conn.irs, 1))
+        if conn.fin_deposited:
+            acked -= 1
+        view = self.invset.successor_view(state)
+        if acked > view.deposited_upto:
+            self.report(
+                f"ACKed client offset {acked} but the successor only "
+                f"reported {view.deposited_upto} deposited",
+                _client_key(state),
+            )
+
+
+class OutputOrderingMonitor(_Monitor):
+    """Paper §4.1: the primary transmits response byte ``k`` only after
+    the successor reported sequence ≥ ``k``, and backup payload is
+    filtered — it must never appear on the client path."""
+
+    name = "output-ordering"
+
+    def on_client_segment(
+        self, port: "FtPort", state: "FtConnectionState", segment: "TCPSegment"
+    ) -> None:
+        if not state.gated or not segment.data:
+            return
+        conn = state.conn
+        start = seq_diff(segment.seq, seq_add(conn.iss, 1))
+        if start < 0:
+            return  # SYN occupies the position before offset 0
+        end = start + len(segment.data)
+        view = self.invset.successor_view(state)
+        if end > view.sent_upto:
+            self.report(
+                f"sent response bytes [{start}, {end}) to the client but "
+                f"the successor only reported sequence {view.sent_upto}",
+                _client_key(state),
+            )
+
+    def on_unstamped_service_segment(self, packet: "IPPacket", segment: "TCPSegment") -> None:
+        """A client-bound segment of a fault-tolerant service crossed
+        the redirector without an epoch stamp.  Only the primary's
+        output path stamps epochs, so this is backup (or otherwise
+        unfiltered) output leaking towards a client link."""
+        self.report(
+            "unstamped (non-primary) service output reached the client "
+            f"path: {packet.src}:{segment.src_port} -> "
+            f"{packet.dst}:{segment.dst_port} seq={segment.seq} "
+            f"len={len(segment.data)}"
+        )
+
+
+class SinglePrimaryMonitor(_Monitor):
+    """DESIGN.md §9: at most one live primary per ``(service_ip,
+    port)`` *epoch*, and segments stamped with a stale epoch are
+    dropped by the redirector's fence, never delivered client-ward."""
+
+    name = "single-primary"
+
+    def on_promotion(self, port: "FtPort") -> None:
+        replicas = self.invset.service_replicas(port.service_ip, port.port)
+        if replicas is None:
+            return
+        live_primaries = [
+            h.ft_port
+            for h in replicas
+            if h.ft_port.is_primary
+            and not h.ft_port.shut_down
+            and not h.node.host_server.crashed
+        ]
+        by_epoch = Counter(p.epoch for p in live_primaries)
+        for epoch, count in by_epoch.items():
+            if count > 1:
+                names = [
+                    p.host_server.name for p in live_primaries if p.epoch == epoch
+                ]
+                self.report(
+                    f"{count} live primaries share epoch {epoch} for "
+                    f"{port.service_ip}:{port.port}: {names}"
+                )
+
+    def on_stale_segment_past_fence(
+        self, packet: "IPPacket", segment: "TCPSegment", entry_epoch: int
+    ) -> None:
+        self.report(
+            f"stale-epoch segment escaped the fence: epoch {segment.epoch} "
+            f"< table epoch {entry_epoch}, "
+            f"{packet.src}:{segment.src_port} -> "
+            f"{packet.dst}:{segment.dst_port} seq={segment.seq}"
+        )
+
+
+class StreamIntegrityMonitor(_Monitor):
+    """DESIGN.md §6 ordering: every replica deposits the *same* client
+    byte stream — all deposited streams are prefixes of one canonical
+    stream per connection."""
+
+    name = "stream-integrity"
+
+    def __init__(self, invset: "InvariantSet"):
+        super().__init__(invset)
+        #: client key -> canonical bytes deposited so far (capped).
+        self.canonical: dict[tuple, bytearray] = {}
+        #: client key -> longest deposited stream seen on any replica.
+        self.lengths: dict[tuple, int] = {}
+
+    def on_deposit(self, state: "FtConnectionState", start: int, data: bytes) -> None:
+        key = _client_key(state)
+        canon = self.canonical.get(key)
+        if canon is None:
+            canon = self.canonical[key] = bytearray()
+        end = start + len(data)
+        overlap_end = min(end, len(canon))
+        if start < overlap_end and bytes(canon[start:overlap_end]) != data[: overlap_end - start]:
+            self.report(
+                f"replica {state.port.host_server.name} deposited bytes "
+                f"[{start}, {end}) that differ from the canonical stream",
+                key,
+            )
+        elif end > len(canon) and len(canon) < STREAM_CAP:
+            if start > len(canon):
+                # In-order TCP deposits make this unreachable unless the
+                # reassembler itself is broken; record it, don't extend.
+                self.report(
+                    f"replica {state.port.host_server.name} deposited at "
+                    f"offset {start}, past the canonical end {len(canon)}",
+                    key,
+                )
+            else:
+                canon.extend(data[len(canon) - start :])
+        if end > self.lengths.get(key, 0):
+            self.lengths[key] = end
+
+    def digest(self) -> dict[str, tuple[int, str]]:
+        """Per-connection ``(length, sha256)`` of the canonical streams
+        — part of the scenario fingerprint."""
+        out = {}
+        for key, canon in sorted(self.canonical.items(), key=lambda kv: str(kv[0])):
+            out["/".join(map(str, key))] = (
+                self.lengths.get(key, len(canon)),
+                hashlib.sha256(bytes(canon)).hexdigest(),
+            )
+        return out
+
+
+class InvariantSet:
+    """The armed monitors plus shared state: attach with
+    :func:`attach_invariants`, read :attr:`violations` afterwards."""
+
+    def __init__(self, sim, on_violation: Optional[Callable[[Violation], None]] = None):
+        self.sim = sim
+        self.on_violation = on_violation
+        self.violations: list[Violation] = []
+        self.stats: Counter = Counter()
+        self.atomicity = AtomicityMonitor(self)
+        self.output_ordering = OutputOrderingMonitor(self)
+        self.single_primary = SinglePrimaryMonitor(self)
+        self.stream_integrity = StreamIntegrityMonitor(self)
+        #: (service_ip, port) -> the service's replica list (live view).
+        self._services: dict[tuple, list] = {}
+        #: FtConnectionState -> the monitors' own successor record.
+        self._successor: dict[int, _SuccessorView] = {}
+        self._states: dict[int, "FtConnectionState"] = {}
+        #: Set by :func:`attach_invariants` — the redirector table the
+        #: packet hook consults.
+        self._redirector_table = None
+
+    # -- wiring ----------------------------------------------------------
+
+    def watch_service(self, service) -> None:
+        self._services[(service.service_ip, service.port)] = service.replicas
+
+    def service_replicas(self, service_ip, port: int):
+        return self._services.get((service_ip, port))
+
+    def successor_view(self, state: "FtConnectionState") -> _SuccessorView:
+        view = self._successor.get(id(state))
+        if view is None:
+            view = self._successor[id(state)] = _SuccessorView()
+            self._states[id(state)] = state  # keep the keyed object alive
+        return view
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, monitor: str, detail: str, conn_key: Optional[tuple] = None) -> None:
+        violation = Violation(monitor, self.sim.now, detail, conn_key)
+        self.violations.append(violation)
+        self.stats[f"violation:{monitor}"] += 1
+        if self.on_violation is not None:
+            self.on_violation(violation)
+
+    def check(self) -> None:
+        """Raise if any monitor reported a violation."""
+        if self.violations:
+            lines = "\n".join(str(v) for v in self.violations[:20])
+            more = len(self.violations) - 20
+            if more > 0:
+                lines += f"\n... and {more} more"
+            raise InvariantViolationError(
+                f"{len(self.violations)} invariant violation(s):\n{lines}"
+            )
+
+    def violated_monitors(self) -> list[str]:
+        return sorted({v.monitor for v in self.violations})
+
+    # -- hook-site entry points (called only when armed) -------------------
+
+    def on_deposit(self, state: "FtConnectionState", start: int, data: bytes) -> None:
+        self.stats["deposits"] += 1
+        self.atomicity.on_deposit(state, start, data)
+        self.stream_integrity.on_deposit(state, start, data)
+
+    def on_successor_report(
+        self, state: "FtConnectionState", seq_next: int, ack: int
+    ) -> None:
+        """Raw flow-control fields from the acknowledgement channel —
+        converted to stream offsets here, independently of the ft-TCP
+        bookkeeping the gates read."""
+        self.stats["successor_reports"] += 1
+        conn = state.conn
+        if conn.irs is None:
+            return
+        view = self.successor_view(state)
+        view.reports += 1
+        sent = seq_diff(seq_next, seq_add(conn.iss, 1))
+        deposited = seq_diff(ack, seq_add(conn.irs, 1))
+        if sent > view.sent_upto:
+            view.sent_upto = sent
+        if deposited > view.deposited_upto:
+            view.deposited_upto = deposited
+
+    def on_client_segment(
+        self, port: "FtPort", state: "FtConnectionState", segment: "TCPSegment"
+    ) -> None:
+        self.stats["client_segments"] += 1
+        self.atomicity.on_client_segment(port, state, segment)
+        self.output_ordering.on_client_segment(port, state, segment)
+
+    def on_promotion(self, port: "FtPort") -> None:
+        self.stats["promotions"] += 1
+        self.single_primary.on_promotion(port)
+
+    def on_ack_channel_message(self, message, src_ip) -> None:
+        self.stats["ack_channel_messages"] += 1
+
+    def on_fenced(self, segment_epoch: int, entry) -> None:
+        self.stats["segments_fenced"] += 1
+
+    def redirector_hook(self, packet: "IPPacket", nic) -> bool:
+        """Observe-only packet hook, inserted immediately *after* the
+        redirector's fence: any stale-epoch segment that reaches it
+        escaped the fence.  Always returns False (never consumes)."""
+        from repro.netsim.packet import Protocol, TCPSegment
+
+        if packet.protocol != Protocol.TCP or packet.is_fragment:
+            return False
+        segment = packet.payload
+        if not isinstance(segment, TCPSegment):
+            return False
+        entry = self._redirector_table.fast.get((packet.src._value, segment.src_port))
+        if entry is None or not entry.fault_tolerant:
+            return False
+        self.stats["service_output_segments"] += 1
+        if segment.epoch is None:
+            self.output_ordering.on_unstamped_service_segment(packet, segment)
+        elif segment.epoch < entry.epoch:
+            self.single_primary.on_stale_segment_past_fence(
+                packet, segment, entry.epoch
+            )
+        return False
+
+
+def attach_invariants(
+    system, on_violation: Optional[Callable[[Violation], None]] = None
+) -> InvariantSet:
+    """Arm the invariant monitors on a wired FT deployment.
+
+    ``system`` is anything shaped like
+    :class:`~repro.experiments.testbeds.FtSystem` (``sim``, ``service``,
+    ``redirector``).  Sets ``sim.invariants``, watches the service's
+    replica list, and splices an observe-only packet hook into the
+    redirector right behind the epoch fence.  Idempotent per system.
+    """
+    sim = system.sim
+    invset = sim.invariants
+    if invset is None:
+        invset = InvariantSet(sim, on_violation)
+        sim.invariants = invset
+    invset.watch_service(system.service)
+    redirector = system.redirector
+    invset._redirector_table = redirector.table
+    hooks = redirector.kernel.packet_hooks
+    if invset.redirector_hook not in hooks:
+        try:
+            index = hooks.index(redirector._fence_hook) + 1
+        except ValueError:
+            index = len(hooks)
+        hooks.insert(index, invset.redirector_hook)
+    return invset

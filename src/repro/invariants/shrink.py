@@ -1,0 +1,124 @@
+"""Delta-debugging shrinker for fuzz reproducers (DESIGN.md §11).
+
+Given a violating :class:`~repro.invariants.fuzz.ScenarioSpec` and a
+``reproduces(spec) -> bool`` oracle, shrink the fault schedule with
+classic ddmin, then simplify the workload and topology numerically —
+all within a bounded number of candidate runs so a pathological oracle
+cannot stall the fuzz loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .fuzz import ScenarioSpec
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        """True while budget remains (and consumes one run)."""
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def ddmin(
+    items: list,
+    test: Callable[[list], bool],
+    budget: _Budget,
+) -> list:
+    """Classic delta debugging: the smallest sublist (under chunked
+    removal) for which ``test`` still returns True.  ``test(items)``
+    is assumed True on entry."""
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk :]
+            if not budget.spend():
+                return items
+            if test(candidate):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(n * 2, len(items))
+    if len(items) == 1:
+        if budget.spend() and test([]):
+            return []
+    return items
+
+
+def shrink_spec(
+    spec: ScenarioSpec,
+    reproduces: Callable[[ScenarioSpec], bool],
+    budget: int = 200,
+) -> ScenarioSpec:
+    """Shrink ``spec`` while ``reproduces`` keeps returning True.
+
+    Order matters for wall-clock: drop fault ops first (each dropped op
+    usually removes the most behaviour), then shrink the workload and
+    duration (cheapest replays), then the chain length.
+    """
+    tracker = _Budget(budget)
+
+    # 1. ddmin the fault schedule.
+    faults = ddmin(
+        list(spec.faults),
+        lambda ops: reproduces(replace(spec, faults=list(ops))),
+        tracker,
+    )
+    spec = replace(spec, faults=list(faults))
+
+    # 2. Halve the workload.
+    while tracker.spend():
+        workload = dict(spec.workload)
+        if workload.get("kind", "echo") == "echo":
+            if workload["total_bytes"] <= 4096:
+                break
+            workload["total_bytes"] = max(4096, workload["total_bytes"] // 2)
+        else:
+            if workload.get("nbuf", 1) <= 4:
+                break
+            workload["nbuf"] = max(4, workload["nbuf"] // 2)
+        candidate = replace(spec, workload=workload)
+        if reproduces(candidate):
+            spec = candidate
+        else:
+            break
+
+    # 3. Halve the run duration (never below the last fault + margin).
+    last_fault = max(
+        (op.get("at", op.get("start", 0.0)) for op in spec.faults), default=0.0
+    )
+    floor = max(5.0, last_fault - 2.0 + 5.0)
+    while spec.duration > floor and tracker.spend():
+        candidate = replace(spec, duration=max(floor, round(spec.duration / 2, 1)))
+        if candidate.duration == spec.duration:
+            break
+        if reproduces(candidate):
+            spec = candidate
+        else:
+            break
+
+    # 4. Shorten the chain.
+    while spec.n_backups > 0 and tracker.spend():
+        candidate = replace(spec, n_backups=spec.n_backups - 1)
+        if reproduces(candidate):
+            spec = candidate
+        else:
+            break
+
+    return spec

@@ -98,6 +98,12 @@ class Simulator:
         #: as a real attribute so the no-tracer check in packet hot
         #: paths is a single plain attribute load.
         self.tracer = None
+        #: Attached :class:`~repro.invariants.InvariantSet`, or None —
+        #: same zero-cost-when-absent contract as :attr:`tracer`: hook
+        #: sites test ``sim.invariants is not None`` inline and no
+        #: events are ever scheduled by the monitors, so an unarmed run
+        #: is byte-identical to one on a build without them.
+        self.invariants = None
         self.rng = random.Random(seed)
 
     @property

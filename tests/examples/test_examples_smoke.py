@@ -1,0 +1,43 @@
+"""Smoke-run every ``examples/*.py`` in-process.
+
+The examples are the repo's front door and double as end-to-end
+scenarios (they assert their own outcomes: promotion observed, web
+workload successes, frames delivered).  Each is cheap (< 2 s), so the
+smoke test runs them at full size and only checks they complete with a
+success exit status; their internal asserts do the real checking.
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_smoke_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_are_discovered():
+    # Guard against the glob silently matching nothing after a rename.
+    assert "quickstart" in EXAMPLES and len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    module = _load(name)
+    with redirect_stdout(io.StringIO()) as out:
+        rc = module.main()
+    assert rc in (0, None), out.getvalue()[-2000:]
+    # Keep module identity out of later imports' way.
+    sys.modules.pop(f"examples_smoke_{name}", None)

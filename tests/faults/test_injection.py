@@ -161,3 +161,66 @@ def test_crash_cycle_rejects_downtime_longer_than_period(net):
     plan = FaultPlan(sim)
     with pytest.raises(ValueError):
         plan.crash_cycle(b, start=0.0, period=2.0, downtime=2.0, count=1)
+
+
+def test_rejects_negative_times(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    with pytest.raises(ValueError):
+        plan.crash_at(b, -1.0)
+    with pytest.raises(ValueError):
+        plan.recover_at(b, -0.5)
+    with pytest.raises(ValueError):
+        plan.crash_for(b, -2.0, duration=1.0)
+
+
+def test_crash_for_rejects_nonpositive_duration(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    with pytest.raises(ValueError):
+        plan.crash_for(b, 1.0, duration=0.0)
+    with pytest.raises(ValueError):
+        plan.crash_for(b, 1.0, duration=-1.0)
+
+
+def test_rejects_overlapping_crash_windows_same_host(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.crash_for(b, 1.0, duration=2.0)        # [1, 3)
+    with pytest.raises(ValueError):
+        plan.crash_for(b, 2.0, duration=2.0)    # [2, 4) overlaps
+    with pytest.raises(ValueError):
+        plan.crash_at(b, 1.5)                   # inside [1, 3)
+    # An open-ended crash blocks everything after it.
+    plan.crash_at(b, 10.0)
+    with pytest.raises(ValueError):
+        plan.crash_for(b, 12.0, duration=1.0)
+    # Closing it with a recovery frees the timeline again.
+    plan.recover_at(b, 11.0)
+    plan.crash_for(b, 12.0, duration=1.0)
+
+
+def test_disjoint_crash_windows_and_other_hosts_are_fine(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.crash_for(b, 1.0, duration=1.0)
+    plan.crash_for(b, 3.0, duration=1.0)        # disjoint: ok
+    plan.crash_for(a, 1.5, duration=1.0)        # other host: ok
+    sim.run(until=10.0)
+    assert [e.time for e in plan.events_of("crash")] == [1.0, 1.5, 3.0]
+    assert not a.crashed and not b.crashed
+
+
+def test_partition_records_heal_events(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.partition_at(link, 1.0, duration=1.5)
+    plan.partition_oneway_at(link, "a_to_b", 4.0, duration=1.0)
+    sim.run()
+    assert [(e.kind, e.time) for e in plan.log] == [
+        ("partition", 1.0),
+        ("heal", 2.5),
+        ("partition-oneway", 4.0),
+        ("heal-oneway", 5.0),
+    ]
+    assert link.up and link.a_to_b.up

@@ -1,0 +1,16 @@
+"""Every test in this package is an end-to-end FT-system scenario;
+mark them all ``integration`` so CI's chaos matrix can select them by
+marker (``-m integration``) instead of by path."""
+
+import pathlib
+
+import pytest
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # The hook sees the whole session's items; only mark ours.
+    for item in items:
+        if _HERE in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.integration)

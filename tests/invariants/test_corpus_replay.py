@@ -1,0 +1,38 @@
+"""Replay the committed reproducer corpus.
+
+Two contracts per file: unmutated code stays clean and byte-identical
+(the ``clean_fingerprint``), and re-applying the recorded mutation
+still trips the same monitors (the corpus keeps detecting the bug class
+it was minimized for).
+"""
+
+import pytest
+
+from repro.invariants.fuzz import CORPUS_DIR, load_reproducer, run_scenario, run_with_mutation
+
+pytestmark = pytest.mark.fuzz
+
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_committed():
+    assert len(CORPUS) >= 3, f"reproducer corpus missing from {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_clean_replay_matches_fingerprint(path):
+    entry = load_reproducer(path)
+    result = run_scenario(entry["spec"])
+    assert result.violations == [], "reproducer violates on unmutated code"
+    assert result.fingerprint == entry["clean_fingerprint"]
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_mutated_replay_still_detects(path):
+    entry = load_reproducer(path)
+    mutation = entry["found_with_mutation"]
+    if mutation is None:
+        pytest.skip("corpus entry records a real (unmutated) bug")
+    result = run_with_mutation(entry["spec"], mutation)
+    assert result.violated_monitors == entry["violations_under_mutation"]
+    assert result.fingerprint == entry["mutated_fingerprint"]

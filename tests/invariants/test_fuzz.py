@@ -1,0 +1,83 @@
+"""The fuzzer itself: deterministic generation, deterministic replay,
+and the ddmin shrinker's contract."""
+
+import pytest
+
+from repro.invariants.fuzz import ScenarioSpec, generate_spec, run_scenario
+from repro.invariants.shrink import _Budget, ddmin
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestGenerator:
+    def test_same_seed_same_spec(self):
+        assert generate_spec(5) == generate_spec(5)
+        assert generate_spec(5) != generate_spec(6)
+
+    def test_json_roundtrip(self):
+        spec = generate_spec(11)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_generated_schedules_are_valid(self):
+        for seed in range(40):
+            spec = generate_spec(seed)
+            assert 0 <= spec.n_backups <= 3
+            for op in spec.faults:
+                at = op.get("at", op.get("start"))
+                assert at is not None and at >= 2.0  # after registration
+                assert op["op"] in {
+                    "crash",
+                    "crash_for",
+                    "crash_cycle",
+                    "partition",
+                    "partition_oneway",
+                    "loss_burst",
+                    "recommission",
+                }
+
+
+class TestDeterministicReplay:
+    SPEC = ScenarioSpec(
+        seed=3,
+        n_backups=1,
+        workload={"kind": "echo", "total_bytes": 8192, "chunk": 2048},
+        duration=6.0,
+    )
+
+    def test_same_spec_same_fingerprint(self):
+        first = run_scenario(self.SPEC)
+        second = run_scenario(self.SPEC)
+        assert first.fingerprint == second.fingerprint
+        assert first.client_received == second.client_received == 8192
+
+    def test_fingerprint_ignores_seed_offset(self, monkeypatch):
+        base = run_scenario(self.SPEC).fingerprint
+        monkeypatch.setenv("REPRO_SEED_OFFSET", "1000")
+        assert run_scenario(self.SPEC).fingerprint == base
+
+
+class TestDdmin:
+    def test_finds_minimal_subset(self):
+        items = list(range(8))
+        trace = []
+
+        def oracle(candidate):
+            trace.append(list(candidate))
+            return {3, 5} <= set(candidate)
+
+        result = ddmin(items, oracle, _Budget(100))
+        assert sorted(result) == [3, 5]
+
+    def test_empties_when_nothing_needed(self):
+        assert ddmin([1, 2, 3, 4], lambda c: True, _Budget(100)) == []
+
+    def test_budget_bounds_candidate_runs(self):
+        calls = {"n": 0}
+
+        def oracle(candidate):
+            calls["n"] += 1
+            return {3, 5} <= set(candidate)
+
+        result = ddmin(list(range(64)), oracle, _Budget(3))
+        assert calls["n"] <= 3
+        assert {3, 5} <= set(result)  # still reproduces, just less minimal

@@ -1,0 +1,130 @@
+"""Unit and system tests for the invariant monitors."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.invariants import (
+    InvariantSet,
+    InvariantViolationError,
+    Violation,
+    attach_invariants,
+)
+from repro.invariants.fuzz import ScenarioSpec, run_scenario
+
+
+def _fake_state(name="hs_0", gated=True, client_port=40000):
+    """A minimal stand-in for FtConnectionState, for direct-call units."""
+    conn = SimpleNamespace(remote_ip="10.0.0.9", remote_port=client_port)
+    port = SimpleNamespace(
+        service_ip="192.20.225.20",
+        port=7,
+        host_server=SimpleNamespace(name=name),
+    )
+    return SimpleNamespace(conn=conn, port=port, gated=gated)
+
+
+@pytest.fixture()
+def invset():
+    return InvariantSet(SimpleNamespace(now=1.25))
+
+
+class TestReporting:
+    def test_violation_str_has_monitor_time_and_detail(self):
+        v = Violation("atomicity", 3.5, "boom", ("ip", 7, "c", 1))
+        assert "[atomicity]" in str(v) and "t=3.5" in str(v) and "boom" in str(v)
+
+    def test_check_raises_with_summary(self, invset):
+        invset.check()  # clean: no raise
+        invset.report("atomicity", "deposited too early")
+        with pytest.raises(InvariantViolationError, match="deposited too early"):
+            invset.check()
+        assert invset.violated_monitors() == ["atomicity"]
+        assert invset.stats["violation:atomicity"] == 1
+
+    def test_on_violation_callback_fires(self):
+        seen = []
+        invset = InvariantSet(SimpleNamespace(now=0.0), on_violation=seen.append)
+        invset.report("single-primary", "two primaries")
+        assert len(seen) == 1 and seen[0].monitor == "single-primary"
+
+
+class TestAtomicityUnit:
+    def test_deposit_within_successor_report_is_clean(self, invset):
+        state = _fake_state()
+        invset.successor_view(state).deposited_upto = 4
+        invset.atomicity.on_deposit(state, 0, b"abcd")
+        assert invset.violations == []
+
+    def test_deposit_beyond_successor_report_violates(self, invset):
+        state = _fake_state()
+        invset.successor_view(state).deposited_upto = 4
+        invset.atomicity.on_deposit(state, 0, b"abcde")
+        assert invset.violated_monitors() == ["atomicity"]
+
+    def test_ungated_connection_is_exempt(self, invset):
+        state = _fake_state(gated=False)
+        invset.atomicity.on_deposit(state, 0, b"x" * 1000)
+        assert invset.violations == []
+
+
+class TestStreamIntegrityUnit:
+    def test_matching_replica_streams_are_clean(self, invset):
+        a, b = _fake_state("hs_0"), _fake_state("hs_1")
+        invset.stream_integrity.on_deposit(a, 0, b"hello world")
+        invset.stream_integrity.on_deposit(b, 0, b"hello")
+        invset.stream_integrity.on_deposit(b, 5, b" world")
+        assert invset.violations == []
+        (digest,) = invset.stream_integrity.digest().values()
+        assert digest[0] == 11
+
+    def test_diverging_replica_stream_violates(self, invset):
+        a, b = _fake_state("hs_0"), _fake_state("hs_1")
+        invset.stream_integrity.on_deposit(a, 0, b"hello world")
+        invset.stream_integrity.on_deposit(b, 0, b"hellO")
+        assert invset.violated_monitors() == ["stream-integrity"]
+
+    def test_gap_past_canonical_end_violates(self, invset):
+        a = _fake_state("hs_0")
+        invset.stream_integrity.on_deposit(a, 0, b"abc")
+        invset.stream_integrity.on_deposit(a, 10, b"xyz")
+        assert invset.violated_monitors() == ["stream-integrity"]
+
+
+class TestAttachedSystem:
+    def test_clean_failover_run_has_no_violations_and_full_coverage(self):
+        spec = ScenarioSpec(
+            seed=7,
+            n_backups=1,
+            workload={"kind": "echo", "total_bytes": 24_576, "chunk": 2048},
+            duration=20.0,
+            # Mid-transfer (traffic starts at t=2.0): forces a promotion.
+            faults=[{"op": "crash", "target": "hs_0", "at": 2.1}],
+        )
+        result = run_scenario(spec)
+        assert result.violations == []
+        # The monitors actually saw the protocol, not an idle system.
+        assert result.stats["deposits"] > 0
+        assert result.stats["successor_reports"] > 0
+        assert result.stats["promotions"] >= 1
+        assert result.client_received == 24_576
+
+    def test_attach_is_idempotent(self):
+        from repro.invariants.fuzz import build_fuzz_system
+
+        system = build_fuzz_system(ScenarioSpec(seed=1))
+        first = attach_invariants(system)
+        second = attach_invariants(system)
+        assert first is second
+        hooks = system.redirector.kernel.packet_hooks
+        assert hooks.count(first.redirector_hook) == 1
+        # Spliced in right behind the epoch fence.
+        assert hooks.index(first.redirector_hook) == (
+            hooks.index(system.redirector._fence_hook) + 1
+        )
+
+    def test_detached_by_default(self):
+        from repro.invariants.fuzz import build_fuzz_system
+
+        system = build_fuzz_system(ScenarioSpec(seed=1))
+        assert system.sim.invariants is None

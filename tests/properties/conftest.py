@@ -1,14 +1,26 @@
-"""Hypothesis profiles: set HYPOTHESIS_PROFILE=stress for a deeper run."""
+"""Hypothesis profiles.
+
+``REPRO_HYPOTHESIS_EXAMPLES`` scales the per-test example count
+(default 8; CI's chaos job raises it to 25), and
+``HYPOTHESIS_PROFILE=stress`` still selects the deeper fixed profile.
+"""
 
 import os
 
 from hypothesis import HealthCheck, settings
 
+_SUPPRESS = [HealthCheck.too_slow, HealthCheck.data_too_large]
+
+settings.register_profile(
+    "repro",
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "8")),
+    deadline=None,
+    suppress_health_check=_SUPPRESS,
+)
 settings.register_profile(
     "stress",
     max_examples=60,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=_SUPPRESS,
 )
-if os.environ.get("HYPOTHESIS_PROFILE"):
-    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -10,17 +10,15 @@ The invariants (DESIGN.md §6):
 * replica byte streams are identical prefixes of each other.
 """
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core import DetectorParams
 from repro.experiments.testbeds import build_ft_system
+from repro.invariants import attach_invariants
 from repro.apps.echo import echo_server_factory
 
-SLOW = settings(
-    max_examples=8,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+# Example counts come from the "repro" profile in conftest.py, scaled
+# by REPRO_HYPOTHESIS_EXAMPLES (CI's chaos job raises it to 25).
 
 TOTAL = 60_000
 
@@ -38,6 +36,7 @@ def run_transfer_with_crash(seed, crash_delay, n_backups=1, loss=0.0):
     )
     if loss:
         system.topo.find_link("client", "redirector").set_loss_rate(loss)
+    invset = attach_invariants(system)
     conn = system.client_node.connect(system.service_ip, 7)
     got = bytearray()
     events = []
@@ -58,6 +57,7 @@ def run_transfer_with_crash(seed, crash_delay, n_backups=1, loss=0.0):
     if crash_delay is not None:
         system.sim.schedule(crash_delay, system.servers[0].crash)
     system.run_until(400.0)
+    invset.check()  # runtime monitors saw no protocol violation
     deposits = []
     for handle in system.service.replicas:
         states = list(handle.ft_port.states.values())
@@ -68,7 +68,6 @@ def run_transfer_with_crash(seed, crash_delay, n_backups=1, loss=0.0):
 
 
 class TestCrashTransparency:
-    @SLOW
     @given(
         seed=st.integers(min_value=0, max_value=500),
         crash_delay=st.floats(min_value=0.01, max_value=1.0),
@@ -80,7 +79,6 @@ class TestCrashTransparency:
         assert got == payload
         assert events == []  # client never saw a connection event
 
-    @SLOW
     @given(
         seed=st.integers(min_value=0, max_value=500),
         crash_delay=st.floats(min_value=0.05, max_value=0.5),
@@ -95,7 +93,6 @@ class TestCrashTransparency:
 
 
 class TestAtomicity:
-    @SLOW
     @given(seed=st.integers(min_value=0, max_value=500))
     def test_all_live_replicas_deposit_everything(self, seed):
         got, payload, deposits, events, system = run_transfer_with_crash(
@@ -104,7 +101,6 @@ class TestAtomicity:
         assert got == payload
         assert deposits == [TOTAL] * len(deposits)
 
-    @SLOW
     @given(
         seed=st.integers(min_value=0, max_value=500),
         loss=st.floats(min_value=0.0, max_value=0.1),
@@ -114,3 +110,20 @@ class TestAtomicity:
             seed, crash_delay=None, loss=loss
         )
         assert got == payload
+
+
+class TestMultiBackupLossy:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        crash_delay=st.floats(min_value=0.05, max_value=0.8),
+        n_backups=st.integers(min_value=2, max_value=3),
+        loss=st.floats(min_value=0.0, max_value=0.05),
+    )
+    def test_echo_exact_long_chain_under_loss_and_crash(
+        self, seed, crash_delay, n_backups, loss
+    ):
+        got, payload, deposits, events, system = run_transfer_with_crash(
+            seed, crash_delay, n_backups=n_backups, loss=loss
+        )
+        assert got == payload
+        assert events == []
