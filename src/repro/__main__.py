@@ -20,13 +20,19 @@ def main() -> int:
         from repro.invariants.fuzz import main as run_fuzz
 
         return run_fuzz(args[1:])
+    if args and args[0] == "perf":
+        from repro.metrics.perf import main as run_perf
+
+        return run_perf(args[1:])
     import repro
 
     print(repro.__doc__)
     print("commands:")
     print("  python -m repro experiments [--fast]   run the full evaluation")
+    print("  python -m repro experiments --jobs N   ... on N worker processes")
     print("  python -m repro fuzz --runs N --seed S fuzz fault schedules w/ monitors")
     print("  python -m repro fuzz --replay FILE     replay a saved reproducer")
+    print("  python -m repro perf --scaling         scenario-throughput scaling sweep")
     print("  python -m repro.experiments.figure4    just the paper's Figure 4")
     print("  python -m repro.experiments.recovery   D3 autonomous recovery demo")
     print("  pytest tests/                          the test suite")

@@ -14,6 +14,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.metrics.tables import format_comparison
+from repro.runtime import Task
 from repro.workloads.generators import FIGURE4_PACKET_SIZES
 
 from .testbeds import FIGURE4_BUILDERS
@@ -31,6 +32,20 @@ PAPER_REFERENCE = {
 CONFIG_ORDER = ("clean", "no_redirection", "primary_only", "primary_backup")
 
 
+def run_point(config: str, size: int, nbuf: int = 2048, seed: int = 0) -> float:
+    """One sweep point: throughput [kB/s] for one configuration at one
+    packet size.  This is the shard unit the parallel runner fans out."""
+    builder = FIGURE4_BUILDERS[config]
+    run = builder(seed=seed)
+    result = run.run(buflen=size, nbuf=nbuf)
+    if not result.completed:
+        raise RuntimeError(
+            f"{config} @ {size}B did not complete "
+            f"({result.bytes_sent}/{result.total_expected} bytes)"
+        )
+    return result.throughput_kB_per_sec
+
+
 def run_figure4(
     sizes: Sequence[int] = FIGURE4_PACKET_SIZES,
     nbuf: int = 2048,
@@ -38,21 +53,10 @@ def run_figure4(
     configs: Sequence[str] = CONFIG_ORDER,
 ) -> dict[str, list[float]]:
     """Run the ttcp sweep; returns kB/s per configuration per size."""
-    results: dict[str, list[float]] = {}
-    for config in configs:
-        builder = FIGURE4_BUILDERS[config]
-        series = []
-        for size in sizes:
-            run = builder(seed=seed)
-            result = run.run(buflen=size, nbuf=nbuf)
-            if not result.completed:
-                raise RuntimeError(
-                    f"{config} @ {size}B did not complete "
-                    f"({result.bytes_sent}/{result.total_expected} bytes)"
-                )
-            series.append(result.throughput_kB_per_sec)
-        results[config] = series
-    return results
+    return {
+        config: [run_point(config, size, nbuf=nbuf, seed=seed) for size in sizes]
+        for config in configs
+    }
 
 
 def check_shape(results: dict[str, list[float]]) -> list[str]:
@@ -86,12 +90,39 @@ def check_shape(results: dict[str, list[float]]) -> list[str]:
     return problems
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    fast = "--fast" in args
+def _params(args: Sequence[str]) -> tuple[list[int], int]:
     sizes = list(FIGURE4_PACKET_SIZES)
-    nbuf = 512 if fast else 2048
-    results = run_figure4(sizes=sizes, nbuf=nbuf)
+    nbuf = 512 if "--fast" in args else 2048
+    return sizes, nbuf
+
+
+def shard(args: Sequence[str]) -> list[Task]:
+    """Parallel-runner hook: one task per (configuration, size) point."""
+    sizes, nbuf = _params(args)
+    return [
+        Task(
+            key=f"{config}@{size}",
+            fn=run_point,
+            kwargs={"config": config, "size": size, "nbuf": nbuf},
+            cost=float(size) * nbuf,
+        )
+        for config in CONFIG_ORDER
+        for size in sizes
+    ]
+
+
+def merge_shards(args: Sequence[str], values: dict[str, float]) -> int:
+    """Parallel-runner hook: reassemble sweep points (in canonical
+    config/size order) and print the exact report ``main`` prints."""
+    sizes, nbuf = _params(args)
+    results = {
+        config: [values[f"{config}@{size}"] for size in sizes]
+        for config in CONFIG_ORDER
+    }
+    return _report(results, sizes, nbuf)
+
+
+def _report(results: dict[str, list[float]], sizes: list[int], nbuf: int) -> int:
     print(
         format_comparison(
             "Figure 4: ttcp throughput [kB/s] vs packet size [bytes]",
@@ -118,6 +149,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 1
     print("\nShape check: OK (rising curves, correct configuration ordering)")
     return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    # Serial execution runs the very same shard tasks in canonical
+    # order, so `--jobs N` output is byte-identical by construction.
+    values = {task.key: task.fn(**task.kwargs) for task in shard(args)}
+    return merge_shards(args, values)
 
 
 if __name__ == "__main__":

@@ -39,6 +39,7 @@ from repro.faults.injection import FaultPlan
 from repro.metrics.fencing import primary_overlap
 from repro.metrics.tables import Table
 from repro.recovery import RecoveryManager, SparePool
+from repro.runtime import Task
 
 from .testbeds import build_ft_system
 
@@ -275,10 +276,32 @@ def check_shape(result: PartitionRunResult) -> list[str]:
     return problems
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    variants = ["symmetric"] if "--fast" in args else ["symmetric", "oneway"]
+def _variants(args) -> list[str]:
+    return ["symmetric"] if "--fast" in args else ["symmetric", "oneway"]
 
+
+def shard(args) -> list[Task]:
+    """Parallel-runner hook: one task per partition variant (each is a
+    full 90-simulated-second run plus its non-faulty baseline — the
+    longest jobs in the suite, so they dispatch first)."""
+    return [
+        Task(
+            key=variant,
+            fn=run_partition,
+            kwargs={"variant": variant},
+            cost=2e9,  # dwarfs every sweep point: dispatch these first
+        )
+        for variant in _variants(args)
+    ]
+
+
+def merge_shards(args, values: dict[str, PartitionRunResult]) -> int:
+    """Parallel-runner hook: print the exact report ``main`` prints
+    from per-variant results, in canonical variant order."""
+    return _report([(v, values[v]) for v in _variants(args)])
+
+
+def _report(results: list[tuple[str, PartitionRunResult]]) -> int:
     table = Table(
         "D4: primary partitioned mid-transfer (epoch fencing, "
         f"{PARTITION_FOR:.0f}s partition at t={PARTITION_AT:.0f}s)",
@@ -294,8 +317,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         ],
     )
     failures = []
-    for variant in variants:
-        result = run_partition(variant=variant)
+    for variant, result in results:
         table.add_row(
             [
                 variant,
@@ -325,6 +347,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         "ex-primary demoted and rejoined)"
     )
     return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    # Serial path: the same shard tasks, inline, in canonical order.
+    values = {task.key: task.fn(**task.kwargs) for task in shard(args)}
+    return merge_shards(args, values)
 
 
 if __name__ == "__main__":

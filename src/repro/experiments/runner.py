@@ -2,17 +2,43 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--fast]
+    python -m repro.experiments.runner [--fast] [--jobs N] [--only SUBSTR]
+                                       [--report PATH] [--cache]
 
-``--fast`` shrinks the sweeps (useful for CI smoke runs).  Each
-experiment module is also runnable on its own.
+The suite is a batch of independent, seed-deterministic simulations, so
+``--jobs N`` fans it out over N worker processes through
+:mod:`repro.runtime`: whole experiments run in parallel with each
+other, and experiments that expose a ``shard()`` hook (Figure 4, the A1
+backups sweep, the D4 partition demo) additionally split into one task
+per sweep point.  Results are reassembled in canonical declaration
+order, so stdout is byte-identical at every jobs level; wall-clock
+timing goes to stderr and to the ``--report`` JSON instead.
+
+``--only SUBSTR`` selects experiments by title substring; ``--report``
+writes a machine-readable per-experiment summary (status + wall time)
+for CI time profiling; ``--cache`` memoizes sweep points on disk keyed
+by (source fingerprint, scenario fingerprint) so re-runs of unchanged
+scenarios are free.  Exit codes are unchanged: 0 all OK, 1 failures.
+Each experiment module is also runnable on its own.
 """
 
 from __future__ import annotations
 
+import argparse
+import importlib
+import json
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Optional
+
+from repro.runtime import (
+    ResultCache,
+    ScenarioPool,
+    Task,
+    task_fingerprint,
+)
 
 from . import (
     ack_channel_loss,
@@ -42,29 +68,197 @@ EXPERIMENTS = [
     ("D4 partition / split-brain fencing", partition),
 ]
 
+#: Relative wall-clock hints for whole-module tasks (measured serial
+#: seconds; only the ordering matters for longest-job-first dispatch).
+_MODULE_COST = {
+    "failover": 0.7,
+    "ack_channel_loss": 0.7,
+    "recovery": 0.5,
+    "ordered_channel": 0.4,
+    "fragmentation": 0.3,
+    "detector_comparison": 0.3,
+    "receive_path": 0.2,
+    "scaling_benefit": 0.1,
+}
+
+
+def _module_task(module_name: str, args: list[str]) -> int:
+    """Worker entry point for experiments without a ``shard`` hook:
+    import the module fresh in the worker and run its ``main``."""
+    module = importlib.import_module(module_name)
+    return module.main(list(args))
+
+
+def _parse(args: Optional[list[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run the full HydraNet-FT evaluation suite.",
+    )
+    parser.add_argument("--fast", action="store_true", help="shrink the sweeps (CI)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial, in-process)",
+    )
+    parser.add_argument(
+        "--only", metavar="SUBSTR", default=None,
+        help="run only experiments whose title contains SUBSTR (case-insensitive)",
+    )
+    parser.add_argument(
+        "--report", type=Path, metavar="PATH", default=None,
+        help="write a JSON summary (per-experiment status + wall time)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="memoize scenario results on disk (invalidated on source change)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=900.0, metavar="SECONDS",
+        help="per-task timeout when --jobs > 1 (default 900)",
+    )
+    return parser.parse_args(args)
+
 
 def main(argv: Optional[list[str]] = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
+    opts = _parse(argv if argv is not None else sys.argv[1:])
+    exp_args = ["--fast"] if opts.fast else []
+
+    selected = [
+        (idx, title, module)
+        for idx, (title, module) in enumerate(EXPERIMENTS)
+        if opts.only is None or opts.only.lower() in title.lower()
+    ]
+    if not selected:
+        print(f"no experiment title matches --only {opts.only!r}; titles are:")
+        for title, _module in EXPERIMENTS:
+            print(f"  - {title}")
+        return 2
+
+    cache = ResultCache(root=opts.cache_dir) if opts.cache else None
+
+    # Build the batch: one task per shard for opted-in experiments, one
+    # whole-module task otherwise.  Keys embed the declaration index so
+    # canonical order == declaration order.
+    tasks: list[Task] = []
+    exp_keys: dict[int, list[str]] = {}
+    sharded: dict[int, bool] = {}
+    for idx, title, module in selected:
+        if hasattr(module, "shard"):
+            sharded[idx] = True
+            keys = []
+            for task in module.shard(exp_args):
+                task.key = f"{idx:02d}/{task.key}"
+                task.timeout = opts.task_timeout
+                task.fingerprint = task_fingerprint(task)
+                tasks.append(task)
+                keys.append(task.key)
+            exp_keys[idx] = keys
+        else:
+            sharded[idx] = False
+            task = Task(
+                key=f"{idx:02d}/main",
+                fn=_module_task,
+                args=(module.__name__, exp_args),
+                cost=_MODULE_COST.get(module.__name__.rsplit(".", 1)[-1], 1.0),
+                timeout=opts.task_timeout,
+            )
+            task.fingerprint = task_fingerprint(task)
+            tasks.append(task)
+            exp_keys[idx] = [task.key]
+
+    batch_start = time.time()
+    with ScenarioPool(jobs=opts.jobs, cache=cache) as pool:
+        outcomes = pool.run(tasks)
+        stats = pool.stats
+    total_wall = time.time() - batch_start
+
+    # Deterministic report assembly, strictly in declaration order.
     failures = []
-    for title, module in EXPERIMENTS:
+    report_rows = []
+    for idx, title, module in selected:
         banner = f"### {title} ###"
         print("\n" + "#" * len(banner))
         print(banner)
         print("#" * len(banner) + "\n")
-        started = time.time()
-        status = module.main(args)
-        print(f"\n[{title}: {'OK' if status == 0 else 'FAILED'} "
-              f"in {time.time() - started:.1f}s wall]")
+        outs = [outcomes[key] for key in exp_keys[idx]]
+        errors = [o for o in outs if not o.ok]
+        if errors:
+            for o in errors:
+                print(f"TASK {o.key} {o.status.upper()}:")
+                if o.stdout:
+                    print(o.stdout, end="")
+                print(o.error or "(no traceback)")
+            status = 1
+        elif sharded[idx]:
+            values = {
+                key.split("/", 1)[1]: outcomes[key].value for key in exp_keys[idx]
+            }
+            status = module.merge_shards(exp_args, values)
+        else:
+            outcome = outs[0]
+            print(outcome.stdout, end="")
+            status = outcome.value
+        print(f"\n[{title}: {'OK' if status == 0 else 'FAILED'}]")
         if status != 0:
             failures.append(title)
+        report_rows.append(
+            {
+                "title": title,
+                "status": "ok" if status == 0 else "failed",
+                # Serial-equivalent seconds: the sum of this
+                # experiment's task walls regardless of jobs level.
+                "wall_seconds": round(sum(o.wall_seconds for o in outs), 3),
+                "tasks": len(outs),
+                "cached": sum(1 for o in outs if o.cached),
+                "errors": [
+                    {"task": o.key, "status": o.status, "error": o.error}
+                    for o in errors
+                ],
+            }
+        )
+
     print("\n" + "=" * 60)
     if failures:
         print("FAILED experiments:")
         for title in failures:
             print(f"  - {title}")
-        return 1
-    print(f"All {len(EXPERIMENTS)} experiments completed with shape checks OK.")
-    return 0
+    else:
+        print(
+            f"All {len(selected)} experiments completed with shape checks OK."
+        )
+
+    # Wall-clock is machine- and jobs-dependent: keep it off stdout so
+    # serial and parallel runs stay byte-identical there.
+    print(
+        f"[runner: {len(tasks)} tasks, jobs={opts.jobs}, "
+        f"{total_wall:.1f}s wall, {stats.task_seconds:.1f}s task time, "
+        f"{stats.cache_hits} cache hits]",
+        file=sys.stderr,
+    )
+
+    if opts.report is not None:
+        report = {
+            "jobs": opts.jobs,
+            "fast": opts.fast,
+            "only": opts.only,
+            "cores": os.cpu_count(),
+            "total_wall_seconds": round(total_wall, 3),
+            "task_seconds": round(stats.task_seconds, 3),
+            "experiments": report_rows,
+            "cache": {
+                "enabled": cache is not None,
+                "hits": cache.hits if cache else 0,
+                "misses": cache.misses if cache else 0,
+                "dir": str(cache.root) if cache else None,
+            },
+        }
+        opts.report.parent.mkdir(parents=True, exist_ok=True)
+        opts.report.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -472,6 +472,59 @@ def run_with_mutation(spec: ScenarioSpec, mutation: Optional[str]) -> ScenarioRe
         return run_scenario(spec)
 
 
+# -- pool worker entry points -------------------------------------------------
+#
+# Workers receive *plain data* — an integer seed or a spec's JSON dict —
+# and derive everything else themselves.  In particular the scenario is
+# regenerated from the integer seed *inside* the worker, so no parent-
+# process RNG state (or any other inherited mutable state) can leak
+# into what a forked worker simulates: an in-process run and a pooled
+# run of the same seed are byte-identical by construction.
+
+
+class _ResultSummary:
+    """Picklable, attribute-compatible subset of :class:`ScenarioResult`
+    (what the CLI and :func:`save_reproducer` actually consume)."""
+
+    __slots__ = ("violated_monitors", "violations", "fingerprint", "client_received")
+
+    def __init__(self, violated_monitors, violations, fingerprint, client_received):
+        self.violated_monitors = violated_monitors
+        self.violations = violations
+        self.fingerprint = fingerprint
+        self.client_received = client_received
+
+    @classmethod
+    def from_result(cls, result: ScenarioResult) -> "_ResultSummary":
+        return cls(
+            violated_monitors=list(result.violated_monitors),
+            violations=[str(v) for v in result.violations],
+            fingerprint=result.fingerprint,
+            client_received=result.client_received,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_ResultSummary":
+        return cls(**data)
+
+    def to_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+
+def scenario_task(scenario_seed: int, mutation: Optional[str] = None) -> dict:
+    """Pool task: derive the scenario purely from its integer seed (in
+    the worker) and run it; returns a JSON-able summary."""
+    spec = generate_spec(scenario_seed)
+    return _ResultSummary.from_result(run_with_mutation(spec, mutation)).to_dict()
+
+
+def spec_task(spec_data: dict, mutation: Optional[str] = None) -> dict:
+    """Pool task for non-seed-derivable specs (shrink candidates,
+    corpus replays): the full spec travels as plain JSON."""
+    spec = ScenarioSpec.from_json(spec_data)
+    return _ResultSummary.from_result(run_with_mutation(spec, mutation)).to_dict()
+
+
 # -- corpus files -------------------------------------------------------------
 
 
@@ -528,6 +581,28 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--shrink-budget", type=int, default=200, help="max shrink candidate runs"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the scenario batch (default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-scenario timeout when --jobs > 1 (default 300)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize scenario results on disk (source change invalidates)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, help="result-cache directory"
+    )
     args = parser.parse_args(argv)
 
     if args.replay is not None:
@@ -553,42 +628,114 @@ def main(argv=None) -> int:
             print(f"violated: {result.violated_monitors or 'nothing'}")
         return 0
 
+    from repro.runtime import DeterministicMerger, ResultCache, ScenarioPool, Task
+    from repro.runtime import task_fingerprint
+
     from .shrink import shrink_spec
 
-    found = 0
-    for i in range(args.runs):
-        scenario_seed = args.seed + i
-        spec = generate_spec(scenario_seed)
-        result = run_with_mutation(spec, args.mutate)
-        tag = ",".join(result.violated_monitors) if result.violations else "ok"
+    cache = ResultCache(root=args.cache_dir) if args.cache else None
+
+    # Phase 1 — the seed batch, fanned out over the pool.  Each task
+    # carries only its integer seed; the worker regenerates the spec
+    # from it (see ``scenario_task``).  The specs generated here in the
+    # parent are used purely for the progress line and the cost hint.
+    seeds = [args.seed + i for i in range(args.runs)]
+    parent_specs = {seed: generate_spec(seed) for seed in seeds}
+    tasks = []
+    for seed in seeds:
+        spec = parent_specs[seed]
+        task = Task(
+            key=f"seed{seed}",
+            fn=scenario_task,
+            kwargs={"scenario_seed": seed, "mutation": args.mutate},
+            # Longer simulations with longer chains chew more events.
+            cost=spec.duration * (1.0 + spec.n_backups),
+            timeout=args.task_timeout,
+        )
+        task.fingerprint = task_fingerprint(task)
+        tasks.append(task)
+
+    def show(outcome):
+        seed = int(outcome.key.removeprefix("seed"))
+        spec = parent_specs[seed]
+        if outcome.ok:
+            summary = _ResultSummary.from_dict(outcome.value)
+            tag = ",".join(summary.violated_monitors) or "ok"
+        else:
+            tag = f"ERROR({outcome.status})"
         print(
-            f"run {i:3d} seed={scenario_seed} backups={spec.n_backups} "
+            f"run {seed - args.seed:3d} seed={seed} backups={spec.n_backups} "
             f"faults={len(spec.faults)} -> {tag}"
         )
-        if not result.violations:
-            continue
-        found += 1
-        target = set(result.violated_monitors)
 
-        def reproduces(candidate: ScenarioSpec) -> bool:
-            outcome = run_with_mutation(candidate, args.mutate)
-            return bool(target & set(outcome.violated_monitors))
+    merger = DeterministicMerger([t.key for t in tasks], show)
+    with ScenarioPool(jobs=args.jobs, cache=cache) as pool:
+        outcomes = pool.run(tasks, on_result=merger.offer)
 
-        small = shrink_spec(spec, reproduces, budget=args.shrink_budget)
-        small_result = run_with_mutation(small, args.mutate)
-        with MUTATIONS[None]():
-            clean_result = run_scenario(small)
-        name = f"{args.mutate or 'found'}-seed{scenario_seed}.json"
-        save_reproducer(
-            args.out / name, small, args.mutate, small_result, clean_result
-        )
-        print(
-            f"  shrunk to {len(small.faults)} fault(s), "
-            f"{small.workload} — saved {name}"
-        )
-        if clean_result.violations:
-            print("  NOTE: reproducer violates on UNMUTATED code — real bug!")
+        # Phase 2 — shrink each violating seed, in ascending seed order
+        # so output and corpus files match a serial run exactly.  The
+        # ddmin loop is inherently sequential (every candidate depends
+        # on the previous verdict) but each candidate replays through
+        # the pool, keeping isolation and the per-task timeout.
+        found = 0
+        broken: list[str] = []
+        counter = [0]
+
+        def pooled(spec: ScenarioSpec, mutation) -> Optional[_ResultSummary]:
+            counter[0] += 1
+            outcome = pool.run_one(
+                Task(
+                    key=f"candidate{counter[0]}",
+                    fn=spec_task,
+                    kwargs={"spec_data": spec.to_json(), "mutation": mutation},
+                    timeout=args.task_timeout,
+                )
+            )
+            if not outcome.ok:
+                broken.append(f"{outcome.key}: {outcome.status} ({outcome.error})")
+                return None
+            return _ResultSummary.from_dict(outcome.value)
+
+        for seed in seeds:
+            outcome = outcomes[f"seed{seed}"]
+            if not outcome.ok:
+                broken.append(f"seed {seed}: {outcome.status} ({outcome.error})")
+                continue
+            summary = _ResultSummary.from_dict(outcome.value)
+            if not summary.violated_monitors:
+                continue
+            found += 1
+            spec = parent_specs[seed]
+            target = set(summary.violated_monitors)
+
+            def reproduces(candidate: ScenarioSpec) -> bool:
+                result = pooled(candidate, args.mutate)
+                return result is not None and bool(
+                    target & set(result.violated_monitors)
+                )
+
+            small = shrink_spec(spec, reproduces, budget=args.shrink_budget)
+            small_result = pooled(small, args.mutate)
+            clean_result = pooled(small, None)
+            if small_result is None or clean_result is None:
+                continue
+            name = f"{args.mutate or 'found'}-seed{seed}.json"
+            save_reproducer(
+                args.out / name, small, args.mutate, small_result, clean_result
+            )
+            print(
+                f"  shrunk to {len(small.faults)} fault(s), "
+                f"{small.workload} — saved {name}"
+            )
+            if clean_result.violated_monitors:
+                print("  NOTE: reproducer violates on UNMUTATED code — real bug!")
+
     print(f"{args.runs} runs, {found} violating")
+    if broken:
+        print(f"{len(broken)} scenario task(s) failed to execute:")
+        for line in broken:
+            print(f"  {line}")
+        return 1
     return 1 if (found and args.mutate is None) else 0
 
 

@@ -1,4 +1,4 @@
-"""Simulation-engine performance measurement (DESIGN.md §10).
+"""Simulation-engine and scenario-throughput measurement (DESIGN.md §10, §12).
 
 :func:`run_engine_benchmark` drives the perf macro-benchmark: a bulk
 ft-TCP transfer from a 486-class client through the redirector to a
@@ -18,14 +18,30 @@ perf-smoke job).  The comparison splits into two kinds of checks:
   changed, not that the machine is slow;
 * wall-clock figures are machine-dependent and only gate on a relative
   threshold (default: fail when events/sec drops more than 30 %).
+
+PR 5 adds batch-level throughput on top of the single-simulation
+figures: :func:`run_scaling_benchmark` pushes a mixed batch of seeded
+fuzz scenarios through the :mod:`repro.runtime` process pool at several
+``--jobs`` levels and reports scenarios/sec plus parallel efficiency
+(``BENCH_PR5.json`` records the committed numbers), and
+:func:`run_pooled_engine_medians` computes interleaved-run medians of
+the engine macro-benchmark from pooled workers pinned one per core.
+Both carry the same split: batch fingerprints are deterministic and
+must be identical at every jobs level; wall-clock only gates
+relatively.  Run ``python -m repro.metrics.perf --scaling`` for the
+scaling table (CI's scaling-smoke step).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
+import statistics
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Optional, Sequence
 
 #: Default relative events/sec regression tolerance for CI.
 DEFAULT_THRESHOLD = 0.30
@@ -147,3 +163,299 @@ def write_report(result: EnginePerfResult, path: str | Path) -> None:
     with open(path, "w") as f:
         json.dump(result.to_dict(), f, indent=1, sort_keys=True)
         f.write("\n")
+
+
+# -- batch scaling (PR 5: parallel scenario-execution layer) -----------------
+
+
+def scaling_scenario(scenario_seed: int) -> dict:
+    """Pool task for the scaling benchmark: one seeded fuzz scenario,
+    derived purely from its integer seed inside the worker."""
+    from repro.invariants.fuzz import generate_spec, run_scenario
+
+    spec = generate_spec(scenario_seed)
+    result = run_scenario(spec)
+    return {
+        "seed": scenario_seed,
+        "fingerprint": result.fingerprint,
+        "violated": result.violated_monitors,
+        "client_received": result.client_received,
+    }
+
+
+@dataclass
+class ScalingPoint:
+    """Batch throughput at one ``--jobs`` level."""
+
+    jobs: int
+    tasks: int
+    wall_seconds: float
+    scenarios_per_sec: float
+    speedup: float  # vs the jobs=1 point of the same sweep
+    efficiency: float  # speedup / jobs
+    batch_fingerprint: str  # must be identical at every jobs level
+
+
+@dataclass
+class ScalingResult:
+    """One full sweep of :func:`run_scaling_benchmark`."""
+
+    n_scenarios: int
+    base_seed: int
+    cores: int
+    start_method: str
+    pinned: bool
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def point(self, jobs: int) -> Optional[ScalingPoint]:
+        return next((p for p in self.points if p.jobs == jobs), None)
+
+
+def run_scaling_benchmark(
+    jobs_levels: Sequence[int] = (1, 2, 4, 8),
+    n_scenarios: int = 24,
+    seed: int = 0,
+    pin_cores: bool = True,
+) -> ScalingResult:
+    """Scenario throughput vs worker count.
+
+    The batch is ``n_scenarios`` seeded fuzz scenarios (mixed
+    workloads, fault schedules, chain lengths — the repository's most
+    representative scenario population).  Each jobs level runs the
+    *identical* batch through a fresh :class:`~repro.runtime.ScenarioPool`
+    (workers pinned one per core when ``pin_cores``) and the canonical
+    batch fingerprint must come out identical every time — parallelism
+    must never change results, only wall clock.
+    """
+    from repro.runtime import (
+        ScenarioPool,
+        Task,
+        batch_fingerprint,
+        default_start_method,
+    )
+
+    result = ScalingResult(
+        n_scenarios=n_scenarios,
+        base_seed=seed,
+        cores=os.cpu_count() or 1,
+        start_method=default_start_method(),
+        pinned=pin_cores,
+    )
+    base_sps: Optional[float] = None
+    for jobs in jobs_levels:
+        tasks = [
+            Task(
+                key=f"seed{seed + i}",
+                fn=scaling_scenario,
+                kwargs={"scenario_seed": seed + i},
+            )
+            for i in range(n_scenarios)
+        ]
+        keys = [t.key for t in tasks]
+        with ScenarioPool(jobs=jobs, pin_cores=pin_cores) as pool:
+            started = time.perf_counter()
+            outcomes = pool.run(tasks)
+            wall = time.perf_counter() - started
+        bad = [o for o in outcomes.values() if not o.ok]
+        if bad:
+            details = "; ".join(f"{o.key}: {o.status} {o.error}" for o in bad[:5])
+            raise RuntimeError(f"scaling batch failed at jobs={jobs}: {details}")
+        sps = n_scenarios / wall
+        if base_sps is None:
+            base_sps = sps
+        speedup = sps / base_sps
+        result.points.append(
+            ScalingPoint(
+                jobs=jobs,
+                tasks=n_scenarios,
+                wall_seconds=round(wall, 4),
+                scenarios_per_sec=round(sps, 2),
+                speedup=round(speedup, 3),
+                efficiency=round(speedup / jobs, 3),
+                batch_fingerprint=batch_fingerprint(outcomes, keys),
+            )
+        )
+    return result
+
+
+def check_scaling(
+    result: ScalingResult,
+    min_efficiency: float = 0.5,
+    at_jobs: int = 2,
+) -> list[str]:
+    """CI gate for a :class:`ScalingResult`; returns problems.
+
+    Batch fingerprints are deterministic and gate unconditionally:
+    every jobs level must reproduce the identical results.  Parallel
+    efficiency is hardware-dependent and only gates when the machine
+    actually has ``at_jobs`` cores to scale onto.
+    """
+    problems: list[str] = []
+    if not result.points:
+        return ["scaling result has no points"]
+    fingerprints = {p.batch_fingerprint for p in result.points}
+    if len(fingerprints) != 1:
+        problems.append(
+            "batch fingerprint differs across jobs levels — parallel "
+            f"execution changed results: { {p.jobs: p.batch_fingerprint[:16] for p in result.points} }"
+        )
+    point = result.point(at_jobs)
+    if point is not None and result.cores >= at_jobs:
+        if point.efficiency < min_efficiency:
+            problems.append(
+                f"parallel efficiency at jobs={at_jobs} is "
+                f"{point.efficiency:.2f} < {min_efficiency:.2f} "
+                f"({point.scenarios_per_sec} scenarios/s vs "
+                f"{result.point(result.points[0].jobs).scenarios_per_sec} serial)"
+            )
+    return problems
+
+
+def engine_task(**workload) -> dict:
+    """Pool task: one engine macro-benchmark run, as a plain dict."""
+    return run_engine_benchmark(**workload).to_dict()
+
+
+_ENGINE_DETERMINISTIC_FIELDS = (
+    "completed",
+    "bytes_sent",
+    "events",
+    "sim_seconds",
+    "peak_queue_len",
+    "throughput_kB_per_s",
+)
+
+
+def run_pooled_engine_medians(
+    runs: int = 5,
+    jobs: Optional[int] = None,
+    pin_cores: bool = True,
+    **workload,
+) -> dict:
+    """Median engine-benchmark figures from ``runs`` interleaved
+    repetitions executed by pooled workers pinned one per core.
+
+    Interleaving repetitions across distinct pinned workers averages
+    out cache/frequency drift that plagues back-to-back runs in one
+    process.  Deterministic simulation results must be identical across
+    every repetition (raises on drift); wall-clock figures come back as
+    medians.
+    """
+    from repro.runtime import ScenarioPool, Task
+
+    if jobs is None:
+        jobs = min(2, os.cpu_count() or 1)
+    tasks = [
+        Task(key=f"rep{i}", fn=engine_task, kwargs=dict(workload))
+        for i in range(runs)
+    ]
+    with ScenarioPool(jobs=jobs, pin_cores=pin_cores) as pool:
+        outcomes = pool.run(tasks)
+    bad = [o for o in outcomes.values() if not o.ok]
+    if bad:
+        raise RuntimeError(
+            f"engine benchmark repetition failed: {bad[0].key}: {bad[0].error}"
+        )
+    values = [outcomes[f"rep{i}"].value for i in range(runs)]
+    deterministic = {f: values[0][f] for f in _ENGINE_DETERMINISTIC_FIELDS}
+    for i, value in enumerate(values[1:], start=1):
+        for f in _ENGINE_DETERMINISTIC_FIELDS:
+            if value[f] != deterministic[f]:
+                raise RuntimeError(
+                    f"deterministic field {f!r} drifted between pooled "
+                    f"repetitions: rep0 {deterministic[f]!r} vs "
+                    f"rep{i} {value[f]!r}"
+                )
+    return {
+        "workload": dict(workload),
+        "runs": runs,
+        "jobs": jobs,
+        "deterministic": deterministic,
+        "median_wall_seconds": round(
+            statistics.median(v["wall_seconds"] for v in values), 4
+        ),
+        "median_events_per_sec": round(
+            statistics.median(v["events_per_sec"] for v in values), 1
+        ),
+        "median_wall_per_sim_second": round(
+            statistics.median(v["wall_per_sim_second"] for v in values), 4
+        ),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.metrics.perf",
+        description="Scenario-throughput scaling benchmark (DESIGN.md §12).",
+    )
+    parser.add_argument(
+        "--scaling", action="store_true", help="run the jobs-scaling sweep"
+    )
+    parser.add_argument(
+        "--jobs-levels", default="1,2,4,8", metavar="N,N,...",
+        help="comma-separated worker counts to sweep (default 1,2,4,8)",
+    )
+    parser.add_argument("--scenarios", type=int, default=24, metavar="N")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-pin", action="store_true", help="skip core pinning")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate on determinism + parallel efficiency (CI scaling-smoke)",
+    )
+    parser.add_argument("--min-efficiency", type=float, default=0.5)
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write the scaling result as JSON",
+    )
+    args = parser.parse_args(argv)
+    if not args.scaling:
+        parser.print_help()
+        return 0
+
+    jobs_levels = [int(x) for x in args.jobs_levels.split(",") if x.strip()]
+    result = run_scaling_benchmark(
+        jobs_levels=jobs_levels,
+        n_scenarios=args.scenarios,
+        seed=args.seed,
+        pin_cores=not args.no_pin,
+    )
+    print(
+        f"scaling: {result.n_scenarios} scenarios, base seed "
+        f"{result.base_seed}, {result.cores} core(s), "
+        f"start method {result.start_method}"
+    )
+    print(f"{'jobs':>5} {'wall[s]':>9} {'scen/s':>8} {'speedup':>8} {'eff':>6}  fingerprint")
+    for p in result.points:
+        print(
+            f"{p.jobs:>5} {p.wall_seconds:>9.3f} {p.scenarios_per_sec:>8.2f} "
+            f"{p.speedup:>8.2f} {p.efficiency:>6.2f}  {p.batch_fingerprint[:16]}…"
+        )
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+    if args.check:
+        problems = check_scaling(result, min_efficiency=args.min_efficiency)
+        if problems:
+            print("SCALING CHECK FAILURES:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print(
+            "Scaling check: OK (batch fingerprint identical at every jobs "
+            "level"
+            + (
+                f", efficiency >= {args.min_efficiency:.0%} at 2 workers)"
+                if result.cores >= 2
+                else "; single-core host, efficiency gate skipped)"
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+

@@ -1,0 +1,41 @@
+"""Module-level task functions for the pool tests.
+
+Pool tasks are pickled by reference, so they must live at module level
+in an importable module — not inside a test function.
+"""
+
+import os
+import time
+
+
+def square(x):
+    return x * x
+
+
+def square_loud(x):
+    print(f"squaring {x}")
+    return x * x
+
+
+def record_order(x, path):
+    """Append ``x`` to ``path`` (serial pools only: used to observe the
+    longest-job-first execution order)."""
+    with open(path, "a") as f:
+        f.write(f"{x}\n")
+    return x
+
+
+def sleep_forever(_x):
+    time.sleep(60)
+
+
+def die_hard(_x):
+    os._exit(7)
+
+
+def raise_value_error(x):
+    raise ValueError(f"boom {x}")
+
+
+def unpicklable(_x):
+    return lambda: None
