@@ -24,6 +24,10 @@ def main() -> int:
         from repro.metrics.perf import main as run_perf
 
         return run_perf(args[1:])
+    if args and args[0] == "mesh":
+        from repro.experiments.mesh_scaling import main as run_mesh
+
+        return run_mesh(args[1:])
     import repro
 
     print(repro.__doc__)
@@ -33,6 +37,7 @@ def main() -> int:
     print("  python -m repro fuzz --runs N --seed S fuzz fault schedules w/ monitors")
     print("  python -m repro fuzz --replay FILE     replay a saved reproducer")
     print("  python -m repro perf --scaling         scenario-throughput scaling sweep")
+    print("  python -m repro mesh [--fast|--certify] datacenter-mesh scaling sweep (D5)")
     print("  python -m repro.experiments.figure4    just the paper's Figure 4")
     print("  python -m repro.experiments.recovery   D3 autonomous recovery demo")
     print("  pytest tests/                          the test suite")

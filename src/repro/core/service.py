@@ -50,11 +50,17 @@ class FtNode:
     on the channel flavour.
     """
 
-    def __init__(self, host_server: HostServer, redirector_ip, ordered_channel: bool = False):
+    def __init__(
+        self,
+        host_server: HostServer,
+        redirector_ip,
+        ordered_channel: bool = False,
+        report_ip=None,
+    ):
         from .ack_channel import OrderedAckChannelEndpoint
 
         self.host_server = host_server
-        self.daemon = HostServerDaemon(host_server, redirector_ip)
+        self.daemon = HostServerDaemon(host_server, redirector_ip, report_ip=report_ip)
         endpoint_cls = OrderedAckChannelEndpoint if ordered_channel else AckChannelEndpoint
         self.ack_endpoint = endpoint_cls(host_server)
         self.stack = FtStack(host_server, self.ack_endpoint, self.daemon)
@@ -92,12 +98,16 @@ class ReplicatedTcpService:
         server_factory: ServerFactory,
         detector: Optional[DetectorParams] = None,
         tcp_options: Optional[TcpOptions] = None,
+        authority_ip=None,
     ):
         self.service_ip = as_address(service_ip)
         self.port = port
         self.server_factory = server_factory
         self.detector = detector or DetectorParams()
         self.tcp_options = tcp_options
+        #: Mesh deployments: the redirector owning this service's chain
+        #: (``None`` = every node's default redirector, the flat case).
+        self.authority_ip = as_address(authority_ip) if authority_ip is not None else None
         self.replicas: list[ReplicaHandle] = []
         #: Set by an attached :class:`~repro.recovery.RecoveryManager`;
         #: when present, ``recommission`` runs the live-join protocol
@@ -111,6 +121,10 @@ class ReplicatedTcpService:
         return self._add(node, PortMode.BACKUP)
 
     def _add(self, node: FtNode, mode: PortMode) -> ReplicaHandle:
+        if self.authority_ip is not None:
+            node.daemon.set_service_authority(
+                self.service_ip, self.port, self.authority_ip
+            )
         node.stack.setportopt(self.port, mode, self.detector)
         on_accept = self.server_factory(node.host_server)
         ft_port = node.stack.listen_replicated(
@@ -127,6 +141,10 @@ class ReplicatedTcpService:
         failure detector and without registering at the redirector —
         it catches up in-flight connections via state transfer first,
         and only enters the multicast set at the chain splice."""
+        if self.authority_ip is not None:
+            node.daemon.set_service_authority(
+                self.service_ip, self.port, self.authority_ip
+            )
         node.stack.setportopt(self.port, PortMode.BACKUP, self.detector)
         on_accept = self.server_factory(node.host_server)
         ft_port = node.stack.listen_replicated(

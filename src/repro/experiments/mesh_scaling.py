@@ -1,0 +1,377 @@
+"""D5: datacenter mesh scaling — where does the architecture fall over?
+
+Sweeps service count × client connection count × mesh shape over the
+topology subsystem (:mod:`repro.topo`) and reports the p95 request
+latency at each load level.  The *saturation point* of a series is the
+first load level whose p95 exceeds ``SATURATION_FACTOR ×`` the p95 at
+the series' lowest load (or that fails to complete inside the
+deadline) — the paper's §7 scalability question, asked empirically.
+
+Every sweep point runs with the invariant monitors armed on every
+redirector and reduces to a deterministic fingerprint, so the sweep is
+an equality gate across ``--jobs`` levels: serial and parallel runs
+print byte-identical reports.
+
+``--certify`` runs the headline scenario instead: a 3-tier fat-tree
+with 120 replicated services and 10,500 concurrent client connections
+(ISSUE 6 acceptance gate); its fingerprint must match across jobs
+levels.
+
+Run with:  python -m repro.experiments.mesh_scaling [--fast] [--jobs N]
+                                                    [--certify] [--report PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.runtime import ScenarioPool, Task, task_fingerprint
+from repro.topo import MeshWorkload, generate, run_mesh_scenario
+
+SATURATION_FACTOR = 2.0
+
+#: The certification scenario (ISSUE 6): ≥2 mesh tiers, ≥100 replicated
+#: services, ≥10k concurrent connections.
+CERTIFY_KIND = "fat_tree"
+CERTIFY_PARAMS = dict(
+    pods=4,
+    edges_per_pod=2,
+    servers_per_edge=3,
+    clients_per_edge=2,
+    cores=2,
+    services=120,
+    backups=1,
+)
+CERTIFY_WORKLOAD = dict(
+    connections=10_500,
+    requests_per_conn=2,
+    request_size=64,
+    think_time=0.15,
+    start_window=0.25,
+    deadline=120.0,
+)
+
+
+def sweep_point(
+    kind: str,
+    gen_params: dict,
+    connections: int,
+    request_size: int = 512,
+    seed: int = 0,
+) -> dict:
+    """One sweep point — the shard unit the parallel runner fans out."""
+    spec = generate(kind, gen_params, seed=seed)
+    workload = MeshWorkload(
+        connections=connections,
+        requests_per_conn=2,
+        request_size=request_size,
+        think_time=0.02,
+        deadline=120.0,
+    )
+    report = run_mesh_scenario(spec, workload)
+    return {
+        "connections": connections,
+        "completed": report.completed,
+        "errors": report.errors,
+        "violations": len(report.violations),
+        "median_ms": 1000 * report.median_response,
+        "p95_ms": 1000 * report.p95_response,
+        "peak_concurrent": report.peak_concurrent,
+        "tiers": spec.tiers,
+        "services": len(spec.services),
+        "green": report.green,
+        "fingerprint": report.fingerprint,
+    }
+
+
+def certify_point(seed: int = 0) -> dict:
+    """The acceptance-gate scenario (see module docstring)."""
+    spec = generate(CERTIFY_KIND, CERTIFY_PARAMS, seed=seed)
+    report = run_mesh_scenario(spec, MeshWorkload(**CERTIFY_WORKLOAD))
+    out = report.to_dict()
+    out["tiers"] = spec.tiers
+    return out
+
+
+def _grid(args: Sequence[str]):
+    fast = "--fast" in args
+    if fast:
+        shapes = [
+            (
+                "hub-spoke",
+                "hub_and_spoke",
+                dict(
+                    spokes=2,
+                    servers_per_spoke=2,
+                    clients_per_spoke=1,
+                    backups=1,
+                    bandwidth_bps=10_000_000.0,
+                ),
+            ),
+            (
+                "fat-tree",
+                "fat_tree",
+                dict(
+                    pods=2,
+                    edges_per_pod=2,
+                    servers_per_edge=2,
+                    clients_per_edge=1,
+                    cores=2,
+                    backups=1,
+                    bandwidth_bps=10_000_000.0,
+                ),
+            ),
+        ]
+        services_levels = (4,)
+        conns_levels = (40, 160)
+        request_size = 256
+    else:
+        shapes = [
+            (
+                "fat-tree",
+                "fat_tree",
+                dict(
+                    pods=2,
+                    edges_per_pod=2,
+                    servers_per_edge=2,
+                    clients_per_edge=1,
+                    cores=2,
+                    backups=1,
+                    bandwidth_bps=10_000_000.0,
+                ),
+            ),
+            (
+                "hub-spoke",
+                "hub_and_spoke",
+                dict(
+                    spokes=4,
+                    servers_per_spoke=2,
+                    clients_per_spoke=1,
+                    backups=1,
+                    bandwidth_bps=10_000_000.0,
+                ),
+            ),
+            (
+                "hier-3",
+                "hierarchical",
+                dict(
+                    levels=3,
+                    fanout=2,
+                    servers_per_leaf=2,
+                    clients_per_leaf=1,
+                    backups=1,
+                    bandwidth_bps=10_000_000.0,
+                ),
+            ),
+        ]
+        services_levels = (8, 16)
+        conns_levels = (100, 300, 900)
+        request_size = 512
+    return shapes, services_levels, conns_levels, request_size
+
+
+def shard(args: Sequence[str]) -> list[Task]:
+    """Parallel-runner hook: one task per (shape, services, conns)."""
+    shapes, services_levels, conns_levels, request_size = _grid(args)
+    tasks = []
+    for label, kind, base_params in shapes:
+        for n_services in services_levels:
+            params = dict(base_params, services=n_services)
+            for conns in conns_levels:
+                tasks.append(
+                    Task(
+                        key=f"{label}/s{n_services}/c{conns}",
+                        fn=sweep_point,
+                        kwargs=dict(
+                            kind=kind,
+                            gen_params=params,
+                            connections=conns,
+                            request_size=request_size,
+                        ),
+                        cost=float(conns) * n_services,
+                    )
+                )
+    return tasks
+
+
+def _series(args: Sequence[str], values: dict) -> list[tuple[str, list[dict]]]:
+    shapes, services_levels, conns_levels, _size = _grid(args)
+    out = []
+    for label, _kind, _params in shapes:
+        for n_services in services_levels:
+            points = [
+                values[f"{label}/s{n_services}/c{conns}"] for conns in conns_levels
+            ]
+            out.append((f"{label} × {n_services} services", points))
+    return out
+
+
+def _saturation(points: list[dict]) -> Optional[dict]:
+    """First load level past the knee, or None if the series never
+    saturates within the swept range."""
+    base = points[0]["p95_ms"] or 1e-9
+    for point in points[1:]:
+        overloaded = point["completed"] < point["connections"]
+        if overloaded or point["p95_ms"] > SATURATION_FACTOR * base:
+            return point
+    return None
+
+
+def merge_shards(args: Sequence[str], values: dict) -> int:
+    """Parallel-runner hook: reassemble the sweep, print the exact
+    report ``main`` prints."""
+    from repro.metrics.tables import format_comparison
+
+    _shapes, _services_levels, conns_levels, _size = _grid(args)
+    series = _series(args, values)
+    results = {
+        label: [round(p["p95_ms"], 3) for p in points] for label, points in series
+    }
+    print(
+        format_comparison(
+            "D5: mesh scaling — p95 request latency [ms] vs concurrent connections",
+            "conns",
+            list(conns_levels),
+            results,
+            note=(
+                "(every point: invariant monitors armed mesh-wide; "
+                f"saturation = p95 > {SATURATION_FACTOR:.1f}x the lightest load)"
+            ),
+        )
+    )
+    print()
+    problems = []
+    for label, points in series:
+        for p in points:
+            if p["violations"]:
+                problems.append(
+                    f"{label} @ {p['connections']} conns: "
+                    f"{p['violations']} invariant violation(s)"
+                )
+            if p["errors"]:
+                problems.append(
+                    f"{label} @ {p['connections']} conns: {p['errors']} client errors"
+                )
+        # Invariants must hold at every load, but only the lightest load
+        # must fully complete: connections still open at the deadline at
+        # a heavy load *are* the saturation signal, not a failure.
+        base_point = points[0]
+        if base_point["completed"] < base_point["connections"]:
+            problems.append(
+                f"{label} @ {base_point['connections']} conns (base load): only "
+                f"{base_point['completed']} completed inside the deadline"
+            )
+        knee = _saturation(points)
+        base = points[0]["p95_ms"]
+        if knee is None:
+            print(
+                f"  {label}: no saturation up to "
+                f"{points[-1]['connections']} conns "
+                f"(p95 {base:.2f} -> {points[-1]['p95_ms']:.2f} ms)"
+            )
+        else:
+            print(
+                f"  {label}: saturates at {knee['connections']} conns "
+                f"(p95 {base:.2f} -> {knee['p95_ms']:.2f} ms, "
+                f"{knee['p95_ms'] / (base or 1e-9):.1f}x)"
+            )
+    if problems:
+        print("\nSHAPE CHECK FAILURES:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(
+        "\nShape check: OK (monitors green at every point, base loads "
+        "completed; saturation points identified above)"
+    )
+    return 0
+
+
+def _parse(args: Sequence[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.mesh_scaling",
+        description="Mesh scaling sweep over the topology subsystem.",
+    )
+    parser.add_argument("--fast", action="store_true", help="shrink the sweep (CI)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="run the 120-service / 10.5k-connection acceptance scenario",
+    )
+    parser.add_argument("--report", type=Path, default=None, metavar="PATH")
+    return parser.parse_args(args)
+
+
+def _run_tasks(tasks: list[Task], jobs: int) -> dict:
+    for task in tasks:
+        task.fingerprint = task_fingerprint(task)
+    with ScenarioPool(jobs=jobs) as pool:
+        outcomes = pool.run(tasks)
+    failed = {k: o for k, o in outcomes.items() if not o.ok}
+    if failed:
+        for key, outcome in sorted(failed.items()):
+            print(f"TASK {key} {outcome.status.upper()}:")
+            print(outcome.error or "(no traceback)")
+        raise RuntimeError(f"{len(failed)} task(s) failed")
+    return {k: o.value for k, o in outcomes.items()}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    opts = _parse(args)
+    shard_args = ["--fast"] if opts.fast else []
+
+    if opts.certify:
+        values = _run_tasks(
+            [Task(key="certify", fn=certify_point, cost=1.0, timeout=3600.0)],
+            opts.jobs,
+        )
+        report = values["certify"]
+        print("D5 certify: 3-tier fat-tree, 120 services, 10,500 connections")
+        for field in (
+            "spec_name",
+            "tiers",
+            "connections",
+            "completed",
+            "errors",
+            "peak_concurrent",
+            "sim_seconds",
+            "median_response",
+            "p95_response",
+            "events_processed",
+            "fingerprint",
+            "green",
+        ):
+            print(f"  {field}: {report[field]}")
+        if report["violations"]:
+            print("  violations:")
+            for v in report["violations"]:
+                print(f"    - {v}")
+        status = 0 if (report["green"] and report["peak_concurrent"] >= 10_000) else 1
+        if opts.report is not None:
+            opts.report.parent.mkdir(parents=True, exist_ok=True)
+            opts.report.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        return status
+
+    values = _run_tasks(shard(shard_args), opts.jobs)
+    status = merge_shards(shard_args, values)
+    if opts.report is not None:
+        opts.report.parent.mkdir(parents=True, exist_ok=True)
+        opts.report.write_text(
+            json.dumps(
+                {"points": values, "jobs": opts.jobs, "fast": opts.fast, "status": status},
+                indent=1,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

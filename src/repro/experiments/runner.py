@@ -47,6 +47,7 @@ from . import (
     failover,
     figure4,
     fragmentation,
+    mesh_scaling,
     ordered_channel,
     partition,
     receive_path,
@@ -66,6 +67,7 @@ EXPERIMENTS = [
     ("D2 service scaling (load diffusion)", scaling_benefit),
     ("D3 autonomous recovery (live state transfer)", recovery),
     ("D4 partition / split-brain fencing", partition),
+    ("D5 mesh scaling (datacenter mesh)", mesh_scaling),
 ]
 
 #: Relative wall-clock hints for whole-module tasks (measured serial
@@ -78,7 +80,6 @@ _MODULE_COST = {
     "fragmentation": 0.3,
     "detector_comparison": 0.3,
     "receive_path": 0.2,
-    "scaling_benefit": 0.1,
 }
 
 

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+from repro.runtime import Task
 
 from repro.apps.httpd import httpd_factory, install_httpd
 from repro.hydranet import HostServer, Redirector, RedirectorDaemon
@@ -125,11 +127,44 @@ def check_shape(baseline: ScalingOutcome, scaled: ScalingOutcome) -> list[str]:
     return problems
 
 
+def _requests(args: Sequence[str]) -> int:
+    return 4 if "--fast" in args else 8
+
+
+def shard(args: Sequence[str]) -> list[Task]:
+    """Parallel-runner hook: the two configurations are independent
+    simulations, so they fan out as separate tasks."""
+    requests = _requests(args)
+    return [
+        Task(
+            key="origin-only",
+            fn=run_scaling,
+            kwargs={"with_replica": False, "requests_per_client": requests},
+            # The origin round-trips cost 45ms each: the baseline
+            # simulates more time than the replicated run.
+            cost=2.0,
+        ),
+        Task(
+            key="with-replica",
+            fn=run_scaling,
+            kwargs={"with_replica": True, "requests_per_client": requests},
+            cost=1.0,
+        ),
+    ]
+
+
+def merge_shards(args: Sequence[str], values: dict) -> int:
+    """Parallel-runner hook: print the exact report ``main`` prints."""
+    return _report(values["origin-only"], values["with-replica"])
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
-    requests = 4 if "--fast" in args else 8
-    baseline = run_scaling(with_replica=False, requests_per_client=requests)
-    scaled = run_scaling(with_replica=True, requests_per_client=requests)
+    values = {task.key: task.fn(**task.kwargs) for task in shard(args)}
+    return merge_shards(args, values)
+
+
+def _report(baseline: ScalingOutcome, scaled: ScalingOutcome) -> int:
     table = Table(
         "D2: service scaling — clients 1ms from the redirector, origin 45ms away",
         ["configuration", "mean [ms]", "p95 [ms]", "origin packets", "long-haul bytes"],

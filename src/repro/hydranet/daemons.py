@@ -51,12 +51,17 @@ class Shutdown(MgmtMessage):
 
 @dataclass
 class TableSync(MgmtMessage):
-    """Authority redirector → peer redirectors: the authoritative
+    """Authority redirector → the redirector mesh: the authoritative
     replica list for a service.  Multiple redirectors can forward
     traffic for a service (Figure 1 shows each client population behind
     its own), but exactly one — the one the replicas register with —
-    owns the chain layout and reconfiguration; it pushes its table to
-    the peers so their multicast matches."""
+    owns the chain layout and reconfiguration.  It stamps every push
+    with ``(epoch, seq)`` and floods it to its mesh neighbors; each
+    neighbor applies a *fresh* stamp, re-floods it onward, and drops
+    stale or duplicate stamps — so a registration or fail-over at one
+    edge becomes routable mesh-wide without any redirector needing a
+    full peer list, and flooding terminates even on cyclic meshes
+    (DESIGN.md §13)."""
 
     service_ip: IPAddress
     port: int
@@ -64,6 +69,34 @@ class TableSync(MgmtMessage):
     replicas: tuple = ()
     #: Current view epoch, so peer redirectors fence identically.
     epoch: int = 0
+    #: Monotonic per-service push counter at the authority.  ``(epoch,
+    #: seq)`` orders syncs that race through different mesh paths; a
+    #: receiver ignores any stamp not newer than what it has applied.
+    seq: int = 0
+    #: Address of the authority redirector — every redirector in the
+    #: mesh learns where failure evidence for the service must travel.
+    authority_ip: Optional[IPAddress] = None
+
+
+@dataclass
+class FailureSummary(MgmtMessage):
+    """Redirector → redirector: aggregated failure evidence travelling
+    up the mesh tiers toward a service's authority (FTN-style
+    hierarchical failure reporting, DESIGN.md §13).
+
+    A non-authority redirector receiving :class:`FailureReport` from
+    its local host servers batches them over an aggregation window and
+    forwards one summary — suspect union, report count — to the
+    service's authority if it knows it, else to its mesh parent, which
+    aggregates again.  ``hops`` caps the climb on misconfigured
+    meshes."""
+
+    service_ip: IPAddress
+    port: int
+    reporter_ip: IPAddress
+    suspects: tuple = ()
+    reports: int = 1
+    hops: int = 0
 
 
 @dataclass
@@ -97,8 +130,29 @@ class RedirectorDaemon:
         self.channel = ReliableUdp(self.sim, sock, self._on_message)
         self._nonce = 0
         self._reconfigs: dict[ServiceKey, _Reconfiguration] = {}
-        #: Peer redirectors kept in sync with this (authority) one.
+        #: Mesh neighbors: redirectors one hop away in the redirector
+        #: mesh.  Table syncs flood over these links (stamp-gated);
+        #: a flat peer list (the pre-mesh configuration) is simply a
+        #: star-shaped mesh.
         self.peers: list[IPAddress] = []
+        #: Mesh parent (next tier up) for hierarchical failure-report
+        #: aggregation; None at the root or in flat deployments.
+        self.parent: Optional[IPAddress] = None
+        #: Informational tier index (0 = edge) for operator output.
+        self.tier: int = 0
+        #: Newest (epoch, seq) stamp applied or originated per service.
+        self._sync_stamp: dict[ServiceKey, tuple[int, int]] = {}
+        #: Authority redirector per service, learned from TableSync
+        #: (or ourselves, for services registered here).
+        self._authority: dict[ServiceKey, IPAddress] = {}
+        #: Failure evidence being aggregated: key -> [suspect set, count].
+        self._agg: dict[ServiceKey, list] = {}
+        self.aggregation_window = 0.25
+        self.max_summary_hops = 8
+        self.table_syncs_forwarded = 0
+        self.stale_syncs_dropped = 0
+        self.failure_summaries_sent = 0
+        self.failure_summaries_received = 0
         # Unacknowledged Shutdown messages per (service key, replica):
         # withdrawn if the replica re-registers before delivery (a
         # recovered server must not be killed by a stale shutdown).
@@ -135,8 +189,18 @@ class RedirectorDaemon:
     # -- message handling ------------------------------------------------
 
     def add_peer(self, peer_ip) -> None:
-        """Register a peer redirector to keep synchronized."""
-        self.peers.append(as_address(peer_ip))
+        """Register a mesh neighbor to keep synchronized (flood-wise)."""
+        peer = as_address(peer_ip)
+        if peer not in self.peers:
+            self.peers.append(peer)
+
+    def set_parent(self, parent_ip, tier: int = 0) -> None:
+        """Name this redirector's next tier up in the mesh hierarchy
+        (failure summaries climb toward it); also adds it as a
+        neighbor so table syncs flow both ways."""
+        self.parent = as_address(parent_ip)
+        self.tier = tier
+        self.add_peer(self.parent)
 
     def _on_message(self, message: MgmtMessage, src_ip: IPAddress, src_port: int) -> None:
         if isinstance(message, Register):
@@ -148,7 +212,9 @@ class RedirectorDaemon:
         elif isinstance(message, Pong):
             self._handle_pong(message, src_ip)
         elif isinstance(message, TableSync):
-            self._handle_table_sync(message)
+            self._handle_table_sync(message, src_ip)
+        elif isinstance(message, FailureSummary):
+            self._handle_failure_summary(message)
         elif isinstance(message, PromotionRequest):
             self._handle_promotion_request(message)
         elif isinstance(message, JoinReady):
@@ -159,6 +225,9 @@ class RedirectorDaemon:
         # A re-registering replica withdraws any stale Shutdown still
         # being retried toward it.
         key = ServiceKey(as_address(msg.service_ip), msg.port)
+        # Replicas register here: this redirector is the service's
+        # authority (owns its chain layout and reconfiguration).
+        self._authority[key] = self.redirector.ip
         stale = self._pending_shutdowns.pop((key, as_address(msg.server_ip)), None)
         if stale is not None:
             self.channel.cancel(stale)
@@ -184,40 +253,109 @@ class RedirectorDaemon:
         else:
             self._sync_peers(key)
 
-    def _handle_table_sync(self, msg: TableSync) -> None:
-        """Apply the authority's replica list verbatim (peer role)."""
+    def _handle_table_sync(self, msg: TableSync, src_ip: IPAddress) -> None:
+        """Apply the authority's replica list verbatim (peer role) and
+        re-flood fresh stamps to the rest of the mesh.
+
+        The reliable mgmt layer retransmits and the mesh floods over
+        multiple paths, so syncs arrive duplicated and out of order; a
+        stamp not newer than the newest applied is *stale* and must be
+        ignored — applying it would resurrect a replica list (or an
+        epoch) that a fail-over already moved past."""
         key = ServiceKey(as_address(msg.service_ip), msg.port)
+        stamp = (msg.epoch, msg.seq)
+        if stamp <= self._sync_stamp.get(key, (-1, -1)):
+            self.stale_syncs_dropped += 1
+            return
+        self._sync_stamp[key] = stamp
+        if msg.authority_ip is not None:
+            self._authority[key] = as_address(msg.authority_ip)
         if not msg.replicas:
             self.redirector.remove_service(key.ip, key.port)
-            return
+        else:
+            entry = self.redirector.table.get(key)
+            if entry is None:
+                from .redirector import RedirectionEntry
+
+                entry = RedirectionEntry(key)
+                self.redirector.table[key] = entry
+            entry.fault_tolerant = msg.fault_tolerant
+            entry.replicas = [as_address(r) for r in msg.replicas]
+            entry.epoch = max(entry.epoch, msg.epoch)
+        self._flood_sync(msg, exclude=src_ip)
+
+    def _flood_sync(self, msg: TableSync, exclude: Optional[IPAddress] = None) -> None:
+        """Forward a sync to every mesh neighbor except the one it
+        came from.  Stamp gating at the receivers terminates the flood
+        (a stamp seen once is stale forever after)."""
+        for peer in self.peers:
+            if exclude is not None and peer == exclude:
+                continue
+            self.table_syncs_forwarded += 1
+            self.channel.send(
+                TableSync(
+                    service_ip=msg.service_ip,
+                    port=msg.port,
+                    fault_tolerant=msg.fault_tolerant,
+                    replicas=msg.replicas,
+                    epoch=msg.epoch,
+                    seq=msg.seq,
+                    authority_ip=msg.authority_ip,
+                ),
+                peer,
+            )
+
+    def _next_seq(self, key: ServiceKey) -> int:
+        seq = self._chain_seq.get(key, 0) + 1
+        self._chain_seq[key] = seq
+        return seq
+
+    def _sync_peers(self, key: ServiceKey, seq: Optional[int] = None) -> None:
+        """Originate a stamped sync for a service this redirector is
+        the authority of (``seq=None`` allocates the next stamp —
+        scaling services and deletions have no chain push to share a
+        stamp with)."""
         entry = self.redirector.table.get(key)
-        if entry is None:
-            from .redirector import RedirectionEntry
-
-            entry = RedirectionEntry(key)
-            self.redirector.table[key] = entry
-        entry.fault_tolerant = msg.fault_tolerant
-        entry.replicas = [as_address(r) for r in msg.replicas]
-        entry.epoch = max(entry.epoch, msg.epoch)
-
-    def _sync_peers(self, key: ServiceKey) -> None:
+        # The stamp's epoch may never regress at the origin, or a
+        # deletion (entry gone, epoch unknown) would sort as stale at
+        # the peers; the originated stamp floor keeps it monotone.
+        last_epoch, _last_seq = self._sync_stamp.get(key, (0, 0))
+        epoch = max(entry.epoch if entry else 0, last_epoch)
+        if seq is None:
+            seq = self._next_seq(key)
+        self._sync_stamp[key] = (epoch, seq)
         if not self.peers:
             return
-        entry = self.redirector.table.get(key)
-        message_args = dict(
+        sync = TableSync(
             service_ip=key.ip,
             port=key.port,
             fault_tolerant=entry.fault_tolerant if entry else False,
             replicas=tuple(entry.replicas) if entry else (),
-            epoch=entry.epoch if entry else 0,
+            epoch=epoch,
+            seq=seq,
+            authority_ip=self.redirector.ip,
         )
-        for peer in self.peers:
-            self.channel.send(TableSync(**message_args), peer)
+        self._flood_sync(sync)
+
+    def _is_authority(self, key: ServiceKey) -> bool:
+        """Whether this redirector owns the service's reconfiguration.
+        Unknown authority (pre-mesh deployments) defaults to yes — the
+        legacy single-redirector behaviour."""
+        authority = self._authority.get(key)
+        return authority is None or authority == self.redirector.ip
 
     def _handle_failure_report(self, msg: FailureReport) -> None:
         key = ServiceKey(as_address(msg.service_ip), msg.port)
         entry = self.redirector.table.get(key)
         if entry is None or not entry.fault_tolerant:
+            return
+        if not self._is_authority(key):
+            # Edge role: we merely host replicas (or forward traffic)
+            # for a service owned elsewhere.  Batch local evidence and
+            # let it climb the hierarchy as one summary.
+            self._aggregate_failure(
+                key, tuple(as_address(s) for s in msg.suspects), reports=1
+            )
             return
         reporter = as_address(msg.reporter_ip)
         if reporter not in entry.replicas:
@@ -249,6 +387,86 @@ class RedirectorDaemon:
         if key in self._reconfigs:
             return  # probe already in flight
         self._start_probe(key)
+
+    def _aggregate_failure(
+        self, key: ServiceKey, suspects: tuple, reports: int, hops: int = 0
+    ) -> None:
+        """Batch failure evidence for a service owned elsewhere; the
+        first piece of evidence arms a flush timer, later pieces merge
+        into the pending batch (suspect union, report sum)."""
+        agg = self._agg.get(key)
+        if agg is None:
+            self._agg[key] = [set(suspects), reports, hops]
+            self.sim.schedule(self.aggregation_window, self._flush_summary, key)
+            return
+        agg[0].update(suspects)
+        agg[1] += reports
+        agg[2] = max(agg[2], hops)
+
+    def _flush_summary(self, key: ServiceKey) -> None:
+        agg = self._agg.pop(key, None)
+        if agg is None:
+            return
+        suspects, reports, hops = agg
+        if hops >= self.max_summary_hops:
+            return  # misconfigured mesh (cycle / no authority): stop climbing
+        authority = self._authority.get(key)
+        if authority is not None and authority != self.redirector.ip:
+            target = authority
+        else:
+            target = self.parent
+        if target is None:
+            return
+        self.failure_summaries_sent += 1
+        self.channel.send(
+            FailureSummary(
+                service_ip=key.ip,
+                port=key.port,
+                reporter_ip=self.redirector.ip,
+                suspects=tuple(sorted(suspects, key=int)),
+                reports=reports,
+                hops=hops + 1,
+            ),
+            target,
+        )
+
+    def _handle_failure_summary(self, msg: FailureSummary) -> None:
+        self.failure_summaries_received += 1
+        key = ServiceKey(as_address(msg.service_ip), msg.port)
+        entry = self.redirector.table.get(key)
+        if entry is None or not entry.fault_tolerant:
+            return
+        if not self._is_authority(key):
+            # Mid-tier: merge and keep climbing toward the authority.
+            self._aggregate_failure(
+                key,
+                tuple(as_address(s) for s in msg.suspects),
+                reports=msg.reports,
+                hops=msg.hops,
+            )
+            return
+        # Authority: a summary stands in for the individual reports it
+        # aggregates — feed the congestion rule (capped at threshold so
+        # one summary cannot manufacture more evidence than the rule
+        # needs) and verify liveness by probing, exactly as for a
+        # directly received report.
+        now = self.sim.now
+        for suspect in msg.suspects:
+            suspect = as_address(suspect)
+            if suspect not in entry.replicas:
+                continue
+            history = self._report_history.setdefault((key, suspect), [])
+            history.extend(
+                [now] * min(msg.reports, self.congestion_report_threshold)
+            )
+            history[:] = [
+                t for t in history if now - t <= self.congestion_report_window
+            ]
+            if len(history) >= self.congestion_report_threshold:
+                self._remove_and_rechain(key, {suspect})
+                return
+        if key not in self._reconfigs:
+            self._start_probe(key)
 
     def _start_probe(self, key: ServiceKey) -> None:
         entry = self.redirector.table.get(key)
@@ -323,15 +541,16 @@ class RedirectorDaemon:
 
     def _push_chain_updates(self, key: ServiceKey) -> None:
         self._advance_epoch(key)
-        self._sync_peers(key)
+        # One (epoch, seq) stamp orders this layout both toward the
+        # replicas (ChainUpdate) and across the mesh (TableSync).
+        seq = self._next_seq(key)
+        self._sync_peers(key, seq=seq)
         entry = self.redirector.table.get(key)
         if self.on_membership_change is not None:
             self.on_membership_change(key)
         if entry is None or not entry.fault_tolerant:
             return
         replicas = entry.replicas
-        seq = self._chain_seq.get(key, 0) + 1
-        self._chain_seq[key] = seq
         for i, replica in enumerate(replicas):
             update = ChainUpdate(
                 service_ip=key.ip,
@@ -447,10 +666,23 @@ class RedirectorDaemon:
 class HostServerDaemon:
     """Runs on a host server; registers replicas and reports failures."""
 
-    def __init__(self, host_server: HostServer, redirector_ip):
+    def __init__(self, host_server: HostServer, redirector_ip, report_ip=None):
         self.host_server = host_server
         self.sim = host_server.sim
         self.redirector_ip = as_address(redirector_ip)
+        #: Where failure evidence goes.  In a mesh this is the *local*
+        #: edge redirector (which aggregates and forwards summaries up
+        #: the hierarchy); registration and promotion traffic always
+        #: goes to the service's authority redirector.
+        self.report_ip = (
+            as_address(report_ip) if report_ip is not None else self.redirector_ip
+        )
+        #: Per-service authority override — mesh placements whose chain
+        #: is owned by a redirector other than the default.  Control
+        #: traffic for such a service (register/unregister/promotion/
+        #: join) goes to its authority; failure reports still go to
+        #: :attr:`report_ip` for hierarchical aggregation.
+        self._service_authority: dict[tuple[IPAddress, int], IPAddress] = {}
         sock = host_server.node.udp_socket()
         sock.bind(MGMT_PORT)
         self.channel = ReliableUdp(self.sim, sock, self._on_message)
@@ -473,15 +705,28 @@ class HostServerDaemon:
 
     # -- outgoing ---------------------------------------------------------
 
+    def set_service_authority(self, service_ip, port: int, authority_ip) -> None:
+        """Name the redirector that owns this service's chain layout
+        (defaults to :attr:`redirector_ip` when never called)."""
+        self._service_authority[(as_address(service_ip), port)] = as_address(
+            authority_ip
+        )
+
+    def authority_for(self, service_ip, port: int) -> IPAddress:
+        return self._service_authority.get(
+            (as_address(service_ip), port), self.redirector_ip
+        )
+
     def register(self, service_ip, port: int, mode: str) -> None:
         self.channel.send(
-            Register(as_address(service_ip), port, self.ip, mode), self.redirector_ip
+            Register(as_address(service_ip), port, self.ip, mode),
+            self.authority_for(service_ip, port),
         )
 
     def unregister(self, service_ip, port: int, reason: str = "voluntary") -> None:
         self.channel.send(
             Unregister(as_address(service_ip), port, self.ip, reason),
-            self.redirector_ip,
+            self.authority_for(service_ip, port),
         )
 
     def report_failure(self, service_ip, port: int, suspects=()) -> None:
@@ -490,7 +735,7 @@ class HostServerDaemon:
             FailureReport(
                 as_address(service_ip), port, self.ip, tuple(suspects)
             ),
-            self.redirector_ip,
+            self.report_ip,
         )
 
     def request_promotion(self, service_ip, port: int, epoch: int) -> None:
@@ -502,7 +747,7 @@ class HostServerDaemon:
         self.promotion_requests_sent += 1
         self.channel.send(
             PromotionRequest(as_address(service_ip), port, self.ip, epoch),
-            self.redirector_ip,
+            self.authority_for(service_ip, port),
             policy=ARBITRATION_RETRY,
             on_give_up=self._promotion_gave_up,
         )
@@ -526,7 +771,7 @@ class HostServerDaemon:
                 tuple(conn_keys),
                 bytes_received,
             ),
-            self.redirector_ip,
+            self.authority_for(service_ip, port),
             policy=JOIN_RETRY,
         )
 

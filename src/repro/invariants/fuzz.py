@@ -3,7 +3,10 @@
 A scenario is a plain-data :class:`ScenarioSpec`: topology knobs
 (backups, loss, latency, MTU), a workload (echo request/response or a
 one-way ttcp stream), and a fault schedule drawn from the repertoire of
-:class:`~repro.faults.FaultPlan`.  ``run_scenario`` builds the system,
+:class:`~repro.faults.FaultPlan`.  A fraction of generated scenarios
+instead run over a *small redirector mesh* (2–3 redirectors, 2–4
+replicated services, via :mod:`repro.topo`) so the mesh sync protocol
+and hierarchical failure aggregation get fuzzed too.  ``run_scenario`` builds the system,
 arms the invariant monitors (:mod:`repro.invariants.monitors`), applies
 the schedule, and returns the violations plus a protocol-level
 fingerprint (client bytes + canonical replica streams) that is stable
@@ -43,6 +46,8 @@ from repro.faults import FaultPlan
 from repro.hydranet import HostServer, Redirector, RedirectorDaemon
 from repro.netsim import Simulator, Topology
 from repro.sockets import node_for
+from repro.topo import MeshScenario, MeshWorkload
+from repro.topo import generate as generate_topology
 
 from .monitors import attach_invariants
 
@@ -67,6 +72,11 @@ class ScenarioSpec:
     )
     duration: float = 30.0
     faults: list = field(default_factory=list)
+    #: When set, the scenario runs over a small redirector *mesh*
+    #: (:mod:`repro.topo`) instead of the classic single-redirector
+    #: testbed: ``{"kind": ..., "params": {...}, "workload": {...}}``.
+    #: ``None`` (the default) keeps old corpus files replayable as-is.
+    mesh: Optional[dict] = None
     version: int = SPEC_VERSION
 
     def to_json(self) -> dict:
@@ -189,11 +199,106 @@ def _gen_faults(rng: random.Random, n_backups: int, duration: float) -> list:
     return faults
 
 
+def _gen_mesh_faults(rng: random.Random, spokes: int, duration: float) -> list:
+    """Fault schedule for a small hub-and-spoke mesh.  Targets are the
+    mesh host names; ``partition``/``loss_burst`` links name the host
+    whose uplink (to its adjacent redirector) is hit — partitioning a
+    ``spoke`` therefore severs a whole rack from the hub."""
+    servers = [f"srv_s{s}n{n}" for s in range(spokes) for n in range(2)]
+    rack_edges = [f"spoke{s}" for s in range(spokes)]
+    faults = []
+    crashed: set = set()
+    for _ in range(rng.randint(1, 2)):
+        at = round(2.5 + rng.uniform(0.2, 4.0), 3)
+        roll = rng.random()
+        if roll < 0.40:
+            victims = [s for s in servers if s not in crashed]
+            if not victims:
+                continue
+            victim = rng.choice(victims)
+            crashed.add(victim)
+            if rng.random() < 0.5:
+                faults.append({"op": "crash", "target": victim, "at": at})
+            else:
+                faults.append(
+                    {
+                        "op": "crash_for",
+                        "target": victim,
+                        "at": at,
+                        "duration": round(rng.uniform(3.0, 8.0), 3),
+                    }
+                )
+        elif roll < 0.70:
+            faults.append(
+                {
+                    "op": "partition",
+                    "link": rng.choice(servers),
+                    "at": at,
+                    "duration": round(rng.uniform(2.0, 6.0), 3),
+                }
+            )
+        elif roll < 0.85:
+            faults.append(
+                {
+                    "op": "partition",
+                    "link": rng.choice(rack_edges),
+                    "at": at,
+                    "duration": round(rng.uniform(1.0, 4.0), 3),
+                }
+            )
+        else:
+            faults.append(
+                {
+                    "op": "loss_burst",
+                    "link": rng.choice(servers + rack_edges),
+                    "at": at,
+                    "duration": round(rng.uniform(0.5, 2.5), 3),
+                    "loss_rate": round(rng.uniform(0.3, 0.9), 3),
+                }
+            )
+    faults.sort(key=lambda f: f.get("at", f.get("start", 0.0)))
+    return faults
+
+
+def _generate_mesh_spec(scenario_seed: int, rng: random.Random) -> ScenarioSpec:
+    """A small-mesh scenario: 2–3 redirectors (hub + spokes), 2–4
+    replicated services, a modest closed-loop client population."""
+    spokes = rng.randint(1, 2)
+    n_services = rng.randint(2, 4)
+    duration = round(rng.uniform(18.0, 35.0), 1)
+    mesh = {
+        "kind": "hub_and_spoke",
+        "params": {
+            "spokes": spokes,
+            "servers_per_spoke": 2,
+            "clients_per_spoke": 1,
+            "services": n_services,
+            "backups": 1,
+        },
+        "workload": {
+            "connections": rng.choice([6, 10, 14]),
+            "requests_per_conn": rng.randint(8, 24),
+            "request_size": rng.choice([64, 256]),
+            "think_time": 0.05,
+            "start_window": 0.5,
+        },
+    }
+    return ScenarioSpec(
+        seed=scenario_seed,
+        workload={"kind": "mesh"},
+        duration=duration,
+        faults=_gen_mesh_faults(rng, spokes, duration),
+        mesh=mesh,
+    )
+
+
 def generate_spec(scenario_seed: int) -> ScenarioSpec:
     """Derive one scenario deterministically from ``scenario_seed``.
     No environment input: the same seed is the same scenario on every
     machine and under every ``REPRO_SEED_OFFSET``."""
     rng = random.Random(scenario_seed * 2654435761 % (2**31))
+    if rng.random() < 0.20:
+        return _generate_mesh_spec(scenario_seed, rng)
     n_backups = rng.choices([0, 1, 2, 3], weights=[5, 45, 30, 20])[0]
     if rng.random() < 0.7:
         workload = {
@@ -340,8 +445,64 @@ def _apply_faults(system: FtSystem, spec: ScenarioSpec) -> FaultPlan:
     return plan
 
 
+def _run_mesh_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Mesh variant of :func:`run_scenario`: compile the small mesh,
+    arm the monitors on every redirector, apply the fault schedule, and
+    drive the closed-loop client population.  The topology seed ignores
+    ``REPRO_SEED_OFFSET`` (``env_offset=False``) — corpus replays must
+    be byte-identical in every environment."""
+    cfg = spec.mesh or {}
+    topo_spec = generate_topology(
+        cfg.get("kind", "hub_and_spoke"),
+        cfg.get("params"),
+        seed=spec.seed * 2654435761 % (2**31),
+        env_offset=False,
+    )
+    workload = MeshWorkload(**dict(cfg.get("workload", {}), deadline=spec.duration))
+    scenario = MeshScenario(topo_spec, workload)
+    mesh, invset = scenario.mesh, scenario.invariants
+
+    plan = FaultPlan(mesh.sim)
+    hosts = {**mesh.host_servers, **mesh.redirectors}
+
+    def link_for(name: str):
+        for neighbor in topo_spec.neighbors(name):
+            if neighbor != name and neighbor in mesh.redirectors:
+                return mesh.topo.find_link(name, neighbor)
+        raise ValueError(f"no redirector uplink for mesh host {name!r}")
+
+    for op in spec.faults:
+        kind = op["op"]
+        if kind == "crash":
+            plan.crash_at(hosts[op["target"]], op["at"])
+        elif kind == "crash_for":
+            plan.crash_for(hosts[op["target"]], op["at"], op["duration"])
+        elif kind == "partition":
+            plan.partition_at(link_for(op["link"]), op["at"], op.get("duration"))
+        elif kind == "loss_burst":
+            plan.loss_burst(
+                link_for(op["link"]), op["at"], op["duration"], op["loss_rate"]
+            )
+        else:
+            raise ValueError(f"unknown mesh fault op {kind!r}")
+
+    report = scenario.run()
+    return ScenarioResult(
+        spec=spec,
+        violations=list(invset.violations),
+        violated_monitors=invset.violated_monitors(),
+        # The mesh report fingerprint already covers per-connection
+        # results, canonical stream digests, violations and counters.
+        fingerprint=report.fingerprint,
+        client_received=report.completed,
+        stats=dict(invset.stats),
+    )
+
+
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Build, arm, fault, and drive one scenario to completion."""
+    if spec.mesh:
+        return _run_mesh_scenario(spec)
     system = build_fuzz_system(spec)
     invset = attach_invariants(system)
     _apply_faults(system, spec)
@@ -648,8 +809,9 @@ def main(argv=None) -> int:
             key=f"seed{seed}",
             fn=scenario_task,
             kwargs={"scenario_seed": seed, "mutation": args.mutate},
-            # Longer simulations with longer chains chew more events.
-            cost=spec.duration * (1.0 + spec.n_backups),
+            # Longer simulations with longer chains chew more events;
+            # mesh scenarios simulate several racks at once.
+            cost=spec.duration * (3.0 if spec.mesh else 1.0 + spec.n_backups),
             timeout=args.task_timeout,
         )
         task.fingerprint = task_fingerprint(task)
@@ -663,8 +825,14 @@ def main(argv=None) -> int:
             tag = ",".join(summary.violated_monitors) or "ok"
         else:
             tag = f"ERROR({outcome.status})"
+        shape = (
+            f"mesh[{spec.mesh['params']['spokes'] + 1}rd,"
+            f"{spec.mesh['params']['services']}svc]"
+            if spec.mesh
+            else f"backups={spec.n_backups}"
+        )
         print(
-            f"run {seed - args.seed:3d} seed={seed} backups={spec.n_backups} "
+            f"run {seed - args.seed:3d} seed={seed} {shape} "
             f"faults={len(spec.faults)} -> {tag}"
         )
 

@@ -274,8 +274,12 @@ class InvariantSet:
         self._successor: dict[int, _SuccessorView] = {}
         self._states: dict[int, "FtConnectionState"] = {}
         #: Set by :func:`attach_invariants` — the redirector table the
-        #: packet hook consults.
+        #: packet hook consults (single-redirector deployments).
         self._redirector_table = None
+        #: id(redirector) -> installed hook, one per armed redirector
+        #: (mesh deployments arm every redirector; each hook closes
+        #: over its own table).
+        self._armed_redirectors: dict[int, Callable] = {}
 
     # -- wiring ----------------------------------------------------------
 
@@ -362,6 +366,9 @@ class InvariantSet:
         """Observe-only packet hook, inserted immediately *after* the
         redirector's fence: any stale-epoch segment that reaches it
         escaped the fence.  Always returns False (never consumes)."""
+        return self._observe_service_segment(packet, self._redirector_table)
+
+    def _observe_service_segment(self, packet: "IPPacket", table) -> bool:
         from repro.netsim.packet import Protocol, TCPSegment
 
         if packet.protocol != Protocol.TCP or packet.is_fragment:
@@ -369,7 +376,7 @@ class InvariantSet:
         segment = packet.payload
         if not isinstance(segment, TCPSegment):
             return False
-        entry = self._redirector_table.fast.get((packet.src._value, segment.src_port))
+        entry = table.fast.get((packet.src._value, segment.src_port))
         if entry is None or not entry.fault_tolerant:
             return False
         self.stats["service_output_segments"] += 1
@@ -380,6 +387,27 @@ class InvariantSet:
                 packet, segment, entry.epoch
             )
         return False
+
+    def arm_redirector(self, redirector) -> None:
+        """Splice an observe-only hook behind *this* redirector's fence.
+        Mesh deployments call this once per redirector: each hook
+        consults the table of the redirector it is installed on, so a
+        service's output is checked against the local epoch wherever it
+        crosses the mesh.  Idempotent per redirector."""
+        if id(redirector) in self._armed_redirectors:
+            return
+        table = redirector.table
+
+        def hook(packet, nic, _table=table):
+            return self._observe_service_segment(packet, _table)
+
+        self._armed_redirectors[id(redirector)] = hook
+        hooks = redirector.kernel.packet_hooks
+        try:
+            index = hooks.index(redirector._fence_hook) + 1
+        except ValueError:
+            index = len(hooks)
+        hooks.insert(index, hook)
 
 
 def attach_invariants(
@@ -408,4 +436,25 @@ def attach_invariants(
         except ValueError:
             index = len(hooks)
         hooks.insert(index, invset.redirector_hook)
+    return invset
+
+
+def attach_mesh_invariants(
+    sim,
+    redirectors,
+    services=(),
+    on_violation: Optional[Callable[[Violation], None]] = None,
+) -> InvariantSet:
+    """Arm the invariant monitors across a redirector mesh: one
+    observe-only hook per redirector (each consulting its own table)
+    and one replica-list watch per service.  Idempotent; safe to call
+    again as services are added."""
+    invset = sim.invariants
+    if invset is None:
+        invset = InvariantSet(sim, on_violation)
+        sim.invariants = invset
+    for service in services:
+        invset.watch_service(service)
+    for redirector in redirectors:
+        invset.arm_redirector(redirector)
     return invset

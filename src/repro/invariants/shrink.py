@@ -9,6 +9,7 @@ cannot stall the fuzz loop.
 
 from __future__ import annotations
 
+from copy import deepcopy
 from dataclasses import replace
 from typing import Callable
 
@@ -82,8 +83,24 @@ def shrink_spec(
     )
     spec = replace(spec, faults=list(faults))
 
-    # 2. Halve the workload.
-    while tracker.spend():
+    # 2. Halve the workload.  Mesh scenarios carry theirs in
+    # ``spec.mesh["workload"]`` — shrink connections and per-connection
+    # requests together.
+    while spec.mesh is not None and tracker.spend():
+        mesh = deepcopy(spec.mesh)
+        w = mesh.setdefault("workload", {})
+        conns = w.get("connections", 200)
+        reqs = w.get("requests_per_conn", 2)
+        if conns <= 2 and reqs <= 2:
+            break
+        w["connections"] = max(2, conns // 2)
+        w["requests_per_conn"] = max(2, reqs // 2)
+        candidate = replace(spec, mesh=mesh)
+        if reproduces(candidate):
+            spec = candidate
+        else:
+            break
+    while spec.mesh is None and tracker.spend():
         workload = dict(spec.workload)
         if workload.get("kind", "echo") == "echo":
             if workload["total_bytes"] <= 4096:
@@ -113,8 +130,9 @@ def shrink_spec(
         else:
             break
 
-    # 4. Shorten the chain.
-    while spec.n_backups > 0 and tracker.spend():
+    # 4. Shorten the chain (classic testbed only; mesh chain lengths
+    # live in the generator parameters, which stay fixed).
+    while spec.mesh is None and spec.n_backups > 0 and tracker.spend():
         candidate = replace(spec, n_backups=spec.n_backups - 1)
         if reproduces(candidate):
             spec = candidate

@@ -83,9 +83,16 @@ class Kernel:
         # probes instead of a generator sweep (kept in sync by
         # `Host.add_interface`; NIC addresses never change afterwards).
         self._nic_addrs: set[IPAddress] = set()
-        # Flattened routing table [(mask, base, nic)] maintained by
-        # `add_route` — longest-prefix match on plain ints.
+        # Flattened routing table [(mask, base, nic)] — longest-prefix
+        # match on plain ints.  Rebuilt lazily: datacenter-scale
+        # topologies install thousands of routes per router and sorting
+        # after every insert would make topology construction O(n² log n).
         self._route_table: list[tuple[int, int, NIC]] = []
+        self._routes_dirty = False
+        # Exact-destination lookup cache.  Entries are validated against
+        # nic.up at hit time and the whole cache drops on route changes,
+        # so a cached answer is always what the full scan would return.
+        self._route_cache: dict[int, NIC] = {}
         self._cpu_free_at = 0.0
         self.packets_forwarded = 0
         self.packets_delivered = 0
@@ -120,18 +127,31 @@ class Kernel:
 
     def add_route(self, network: Network | str, nic: NIC) -> None:
         self.routes.append(Route(Network(network), nic))
-        self.routes.sort(key=lambda r: -r.network.prefix_len)
-        self._route_table = [
-            (r.network._mask, int(r.network.base), r.nic) for r in self.routes
-        ]
+        self._routes_dirty = True
+        self._route_cache.clear()
 
     def add_default_route(self, nic: NIC) -> None:
         self.add_route(Network("0.0.0.0/0"), nic)
 
+    def _rebuild_route_table(self) -> None:
+        # Stable sort by descending prefix length: identical to sorting
+        # after every insert, done once per batch of changes instead.
+        self.routes.sort(key=lambda r: -r.network.prefix_len)
+        self._route_table = [
+            (r.network._mask, int(r.network.base), r.nic) for r in self.routes
+        ]
+        self._routes_dirty = False
+
     def route_lookup(self, dst: IPAddress) -> Optional[NIC]:
         value = dst._value if type(dst) is IPAddress else int(as_address(dst))
+        hit = self._route_cache.get(value)
+        if hit is not None and hit.up:
+            return hit
+        if self._routes_dirty:
+            self._rebuild_route_table()
         for mask, base, nic in self._route_table:
             if value & mask == base and nic.up:
+                self._route_cache[value] = nic
                 return nic
         return None
 

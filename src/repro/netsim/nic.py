@@ -33,10 +33,22 @@ class NIC:
         self.network = network
         self.mtu = mtu
         self.name = name or f"{host.name}:eth{len(host.interfaces)}"
-        self.up = True
+        self._up = True
         self._out: Optional[Channel] = None
         self.packets_in = 0
         self.packets_out = 0
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        # Flipping an interface invalidates every kernel route-cache
+        # answer that named it (or was chosen because it was down).
+        if value != self._up:
+            self._up = value
+            self.host.kernel._route_cache.clear()
 
     def connect(self, channel: Channel) -> None:
         self._out = channel

@@ -146,8 +146,12 @@ class Topology:
         for origin, host in self.hosts.items():
             # Single-homed end hosts behave like real ones: everything
             # non-local goes out the only interface (default route).
+            # Per-subnet routes would all name that same interface, so
+            # they are skipped entirely — at datacenter scale this cuts
+            # route installation from O(hosts × subnets) to O(hosts).
             if not host.kernel.ip_forwarding and len(host.interfaces) == 1:
                 host.kernel.add_default_route(host.interfaces[0])
+                continue
             first_hop = self._first_hops(origin)
             seen: set[Network] = {nic.network for nic in host.interfaces}
             for other_name, other in self.hosts.items():

@@ -1,0 +1,57 @@
+"""Datacenter-scale topology subsystem (DESIGN.md §13).
+
+Declarative, JSON-serializable topology specs; generators for
+fat-tree, hub-and-spoke, and k-level hierarchical redirector meshes;
+a compiler onto :mod:`repro.netsim`; and a many-service scenario
+driver with deterministic fingerprints.
+"""
+
+from .build import CompiledMesh, TopoBuildError, compile_spec
+from .driver import (
+    MeshReport,
+    MeshScenario,
+    MeshWorkload,
+    mesh_task,
+    run_mesh_scenario,
+)
+from .generators import (
+    GENERATORS,
+    SERVICE_BASE_PORT,
+    SERVICE_IP,
+    fat_tree,
+    generate,
+    hierarchical,
+    hub_and_spoke,
+)
+from .spec import (
+    SPEC_VERSION,
+    HostSpec,
+    LinkSpec,
+    ServicePlacement,
+    TopologySpec,
+    spec_summary,
+)
+
+__all__ = [
+    "CompiledMesh",
+    "GENERATORS",
+    "HostSpec",
+    "LinkSpec",
+    "MeshReport",
+    "MeshScenario",
+    "MeshWorkload",
+    "SERVICE_BASE_PORT",
+    "SERVICE_IP",
+    "SPEC_VERSION",
+    "ServicePlacement",
+    "TopoBuildError",
+    "TopologySpec",
+    "compile_spec",
+    "fat_tree",
+    "generate",
+    "hierarchical",
+    "hub_and_spoke",
+    "mesh_task",
+    "run_mesh_scenario",
+    "spec_summary",
+]

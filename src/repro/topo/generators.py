@@ -1,0 +1,310 @@
+"""Parameterized topology generators (DESIGN.md §13).
+
+Three families, each producing a validated :class:`TopologySpec`:
+
+* :func:`fat_tree` — pods of racks behind edge redirectors, pod
+  aggregation redirectors, a meshed core tier (the datacenter shape);
+* :func:`hub_and_spoke` — spoke redirectors around one hub (the
+  gateway/cluster shape of the Hydra material);
+* :func:`hierarchical` — a complete k-level redirector tree (the
+  FTN-style hierarchy, parameterized in depth and fanout).
+
+Generators are pure functions of their parameters plus ``seed``; the
+``REPRO_SEED_OFFSET`` environment variable is added to the seed exactly
+as in :func:`repro.experiments.testbeds.build_ft_system`, so CI's chaos
+job varies placements without editing call sites.  Same effective seed
+→ bit-identical spec (and therefore identical fingerprint).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Optional, Sequence
+
+from .spec import HostSpec, LinkSpec, ServicePlacement, TopologySpec
+
+#: All services share one virtual (external) address and take distinct
+#: ports — one redirector-table row per service, one external route for
+#: the whole population.
+SERVICE_IP = "192.20.225.20"
+SERVICE_BASE_PORT = 5001
+
+
+def effective_seed(seed: int) -> int:
+    return seed + int(os.environ.get("REPRO_SEED_OFFSET", "0") or 0)
+
+
+def _link(a: str, b: str, bandwidth_bps: float, latency: float) -> LinkSpec:
+    return LinkSpec(a=a, b=b, bandwidth_bps=bandwidth_bps, latency=latency)
+
+
+def _place_services(
+    rng: random.Random,
+    racks: Sequence[tuple[str, list[str]]],
+    n_services: int,
+    backups: int,
+) -> tuple:
+    """Spread services over racks: the primary's rack rotates
+    round-robin (its edge redirector is the authority), backups go to
+    *other* racks chosen by the rng — so chain traffic crosses the mesh
+    and failure evidence from a backup's rack has to climb the
+    hierarchy rather than arriving at the authority directly."""
+    placements = []
+    for i in range(n_services):
+        rack_idx = i % len(racks)
+        edge, servers = racks[rack_idx]
+        primary = servers[(i // len(racks)) % len(servers)]
+        other_racks = [r for j, r in enumerate(racks) if j != rack_idx]
+        backup_names: list[str] = []
+        pool: list[str] = []
+        for _, rack_servers in other_racks:
+            pool.extend(rack_servers)
+        if not pool:  # single-rack topology: backups share the rack
+            pool = [s for s in servers if s != primary]
+        for _ in range(backups):
+            candidates = [s for s in pool if s not in backup_names]
+            if not candidates:
+                break
+            backup_names.append(rng.choice(candidates))
+        placements.append(
+            ServicePlacement(
+                service_ip=SERVICE_IP,
+                port=SERVICE_BASE_PORT + i,
+                primary=primary,
+                backups=tuple(backup_names),
+                authority=edge,
+            )
+        )
+    return tuple(placements)
+
+
+def fat_tree(
+    pods: int = 2,
+    edges_per_pod: int = 2,
+    servers_per_edge: int = 2,
+    clients_per_edge: int = 1,
+    cores: int = 2,
+    services: int = 4,
+    backups: int = 1,
+    seed: int = 0,
+    bandwidth_bps: float = 100_000_000.0,
+    latency: float = 0.0002,
+    profile: str = "modern",
+    env_offset: bool = True,
+) -> TopologySpec:
+    """Three-tier fat-tree: edge redirectors (tier 0, one per rack),
+    one aggregation redirector per pod (tier 1), a fully-meshed core
+    tier (tier 2).  Every aggregation redirector links to every core."""
+    seed = effective_seed(seed) if env_offset else seed
+    rng = random.Random(seed)
+    hosts: list[HostSpec] = []
+    links: list[LinkSpec] = []
+    peers: list[tuple[str, str]] = []
+    parents: list[tuple[str, str]] = []
+    core_names = [f"core{c}" for c in range(cores)]
+    for name in core_names:
+        hosts.append(HostSpec(name, "redirector", profile, tier=2))
+    for i, a in enumerate(core_names):
+        for b in core_names[i + 1 :]:
+            links.append(_link(a, b, bandwidth_bps, latency))
+            peers.append((a, b))
+    racks: list[tuple[str, list[str]]] = []
+    for p in range(pods):
+        agg = f"agg_p{p}"
+        hosts.append(HostSpec(agg, "redirector", profile, tier=1))
+        for core in core_names:
+            links.append(_link(agg, core, bandwidth_bps, latency))
+        parents.append((agg, core_names[p % cores]))
+        for e in range(edges_per_pod):
+            edge = f"edge_p{p}e{e}"
+            hosts.append(HostSpec(edge, "redirector", profile, tier=0))
+            links.append(_link(edge, agg, bandwidth_bps, latency))
+            parents.append((edge, agg))
+            rack_servers = []
+            for s in range(servers_per_edge):
+                srv = f"srv_p{p}e{e}n{s}"
+                hosts.append(HostSpec(srv, "server", profile))
+                links.append(_link(srv, edge, bandwidth_bps, latency))
+                rack_servers.append(srv)
+            for c in range(clients_per_edge):
+                cli = f"cli_p{p}e{e}n{c}"
+                hosts.append(HostSpec(cli, "client", profile))
+                links.append(_link(cli, edge, bandwidth_bps, latency))
+            racks.append((edge, rack_servers))
+    placements = _place_services(rng, racks, services, backups)
+    return TopologySpec(
+        name=f"fat_tree_p{pods}e{edges_per_pod}s{servers_per_edge}",
+        kind="fat_tree",
+        seed=seed,
+        params=dict(
+            pods=pods,
+            edges_per_pod=edges_per_pod,
+            servers_per_edge=servers_per_edge,
+            clients_per_edge=clients_per_edge,
+            cores=cores,
+            services=services,
+            backups=backups,
+        ),
+        hosts=tuple(hosts),
+        links=tuple(links),
+        peers=tuple(peers),
+        parents=tuple(parents),
+        services=placements,
+        external=((f"{SERVICE_IP}/32", core_names[0]),),
+    ).check()
+
+
+def hub_and_spoke(
+    spokes: int = 4,
+    servers_per_spoke: int = 2,
+    clients_per_spoke: int = 1,
+    services: int = 4,
+    backups: int = 1,
+    seed: int = 0,
+    bandwidth_bps: float = 100_000_000.0,
+    latency: float = 0.0003,
+    profile: str = "modern",
+    env_offset: bool = True,
+) -> TopologySpec:
+    """One hub redirector (tier 1), ``spokes`` spoke redirectors
+    (tier 0) each with its own servers and clients."""
+    seed = effective_seed(seed) if env_offset else seed
+    rng = random.Random(seed)
+    hosts = [HostSpec("hub", "redirector", profile, tier=1)]
+    links: list[LinkSpec] = []
+    parents: list[tuple[str, str]] = []
+    racks: list[tuple[str, list[str]]] = []
+    for s in range(spokes):
+        spoke = f"spoke{s}"
+        hosts.append(HostSpec(spoke, "redirector", profile, tier=0))
+        links.append(_link(spoke, "hub", bandwidth_bps, latency))
+        parents.append((spoke, "hub"))
+        rack_servers = []
+        for n in range(servers_per_spoke):
+            srv = f"srv_s{s}n{n}"
+            hosts.append(HostSpec(srv, "server", profile))
+            links.append(_link(srv, spoke, bandwidth_bps, latency))
+            rack_servers.append(srv)
+        for c in range(clients_per_spoke):
+            cli = f"cli_s{s}n{c}"
+            hosts.append(HostSpec(cli, "client", profile))
+            links.append(_link(cli, spoke, bandwidth_bps, latency))
+        racks.append((spoke, rack_servers))
+    placements = _place_services(rng, racks, services, backups)
+    return TopologySpec(
+        name=f"hub_and_spoke_s{spokes}n{servers_per_spoke}",
+        kind="hub_and_spoke",
+        seed=seed,
+        params=dict(
+            spokes=spokes,
+            servers_per_spoke=servers_per_spoke,
+            clients_per_spoke=clients_per_spoke,
+            services=services,
+            backups=backups,
+        ),
+        hosts=tuple(hosts),
+        links=tuple(links),
+        peers=(),
+        parents=tuple(parents),
+        services=placements,
+        external=((f"{SERVICE_IP}/32", "hub"),),
+    ).check()
+
+
+def hierarchical(
+    levels: int = 3,
+    fanout: int = 2,
+    servers_per_leaf: int = 2,
+    clients_per_leaf: int = 1,
+    services: int = 4,
+    backups: int = 1,
+    seed: int = 0,
+    bandwidth_bps: float = 100_000_000.0,
+    latency: float = 0.0002,
+    profile: str = "modern",
+    env_offset: bool = True,
+) -> TopologySpec:
+    """A complete ``fanout``-ary redirector tree of ``levels`` levels;
+    servers and clients hang off the leaf redirectors (tier 0)."""
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    seed = effective_seed(seed) if env_offset else seed
+    rng = random.Random(seed)
+    hosts: list[HostSpec] = []
+    links: list[LinkSpec] = []
+    parents: list[tuple[str, str]] = []
+    racks: list[tuple[str, list[str]]] = []
+    level_nodes: list[list[str]] = []
+    for depth in range(levels):
+        tier = levels - 1 - depth
+        row = []
+        for i in range(fanout**depth):
+            name = f"rd_l{depth}n{i}"
+            hosts.append(HostSpec(name, "redirector", profile, tier=tier))
+            row.append(name)
+            if depth > 0:
+                parent = level_nodes[depth - 1][i // fanout]
+                links.append(_link(name, parent, bandwidth_bps, latency))
+                parents.append((name, parent))
+        level_nodes.append(row)
+    if levels == 1:
+        leaf_row = level_nodes[0]
+    else:
+        leaf_row = level_nodes[-1]
+    for i, leaf in enumerate(leaf_row):
+        rack_servers = []
+        for s in range(servers_per_leaf):
+            srv = f"srv_l{i}n{s}"
+            hosts.append(HostSpec(srv, "server", profile))
+            links.append(_link(srv, leaf, bandwidth_bps, latency))
+            rack_servers.append(srv)
+        for c in range(clients_per_leaf):
+            cli = f"cli_l{i}n{c}"
+            hosts.append(HostSpec(cli, "client", profile))
+            links.append(_link(cli, leaf, bandwidth_bps, latency))
+        racks.append((leaf, rack_servers))
+    placements = _place_services(rng, racks, services, backups)
+    return TopologySpec(
+        name=f"hierarchical_l{levels}f{fanout}",
+        kind="hierarchical",
+        seed=seed,
+        params=dict(
+            levels=levels,
+            fanout=fanout,
+            servers_per_leaf=servers_per_leaf,
+            clients_per_leaf=clients_per_leaf,
+            services=services,
+            backups=backups,
+        ),
+        hosts=tuple(hosts),
+        links=tuple(links),
+        peers=(),
+        parents=tuple(parents),
+        services=placements,
+        external=((f"{SERVICE_IP}/32", level_nodes[0][0]),),
+    ).check()
+
+
+GENERATORS = {
+    "fat_tree": fat_tree,
+    "hub_and_spoke": hub_and_spoke,
+    "hierarchical": hierarchical,
+}
+
+
+def generate(
+    kind: str,
+    params: Optional[dict] = None,
+    seed: int = 0,
+    env_offset: bool = True,
+) -> TopologySpec:
+    """Dispatch by family name — the plain-data entry point pool
+    workers use (kind + params + seed are all picklable).
+
+    ``env_offset=False`` ignores ``REPRO_SEED_OFFSET`` — the fuzzer
+    uses it so corpus replays are byte-identical in every environment.
+    """
+    if kind not in GENERATORS:
+        raise ValueError(f"unknown topology kind {kind!r}; have {sorted(GENERATORS)}")
+    return GENERATORS[kind](seed=seed, env_offset=env_offset, **(params or {}))

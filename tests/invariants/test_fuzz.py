@@ -81,3 +81,50 @@ class TestDdmin:
         result = ddmin(list(range(64)), oracle, _Budget(3))
         assert calls["n"] <= 3
         assert {3, 5} <= set(result)  # still reproduces, just less minimal
+
+
+class TestMeshScenarios:
+    """Small-mesh fuzzing: generation, replay determinism, shrink."""
+
+    def test_generator_emits_small_meshes(self):
+        mesh_specs = [s for s in map(generate_spec, range(50)) if s.mesh]
+        assert mesh_specs, "no mesh scenario in the first 50 seeds"
+        for spec in mesh_specs:
+            params = spec.mesh["params"]
+            assert 2 <= params["spokes"] + 1 <= 3  # redirectors incl. hub
+            assert 2 <= params["services"] <= 4
+            for op in spec.faults:
+                assert op["op"] in {"crash", "crash_for", "partition", "loss_burst"}
+
+    def test_mesh_spec_json_roundtrip(self):
+        spec = next(s for s in map(generate_spec, range(50)) if s.mesh)
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec and again.mesh == spec.mesh
+
+    def test_legacy_spec_json_defaults_to_no_mesh(self):
+        data = ScenarioSpec(seed=1).to_json()
+        del data["mesh"]  # a corpus file from before the mesh option
+        assert ScenarioSpec.from_json(data).mesh is None
+
+    def test_mesh_replay_deterministic_and_offset_free(self, monkeypatch):
+        spec = next(s for s in map(generate_spec, range(50)) if s.mesh)
+        first = run_scenario(spec)
+        assert first.violated_monitors == []
+        monkeypatch.setenv("REPRO_SEED_OFFSET", "1000")
+        assert run_scenario(spec).fingerprint == first.fingerprint
+
+    def test_mesh_shrink_reduces_workload_not_chain(self):
+        from dataclasses import replace
+
+        from repro.invariants.shrink import shrink_spec
+
+        spec = next(s for s in map(generate_spec, range(50)) if s.mesh)
+        spec = replace(spec, duration=8.0)
+        # Oracle: "violates" whenever the mesh shape survives — shrink
+        # must strip faults and halve the client workload, and must not
+        # touch n_backups (meaningless for mesh specs).
+        small = shrink_spec(spec, lambda c: c.mesh is not None, budget=30)
+        assert small.mesh is not None
+        assert small.faults == []
+        assert small.mesh["workload"]["connections"] <= 2
+        assert small.n_backups == spec.n_backups
