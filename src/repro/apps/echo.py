@@ -7,14 +7,41 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.sockets.api import Node
-from repro.tcp.tcb import TcpConnection
+from repro.tcp.tcb import TcpConnection, TcpState
 
 
 def echo_server_factory(host_server) -> Callable[[TcpConnection], None]:
-    """Per-replica accept handler: echo every byte back."""
+    """Per-replica accept handler: echo every byte back.
+
+    Backpressure-correct: bytes the send buffer cannot take yet are
+    parked and flushed on ``on_send_space``.  A bare ``on_data =
+    conn.send`` drops the overflow, which silently corrupts the
+    response stream a joining replica regenerates through this handler
+    when the catch-up replay outruns the send buffer (DESIGN.md §14).
+    """
 
     def on_accept(conn: TcpConnection) -> None:
-        conn.on_data = conn.send
+        pending = bytearray()
+
+        def flush() -> None:
+            while pending:
+                if conn.fin_queued or conn.state not in (
+                    TcpState.ESTABLISHED,
+                    TcpState.CLOSE_WAIT,
+                ):
+                    pending.clear()
+                    return
+                n = conn.send(pending)
+                if n == 0:
+                    return
+                del pending[:n]
+
+        def feed(data: bytes) -> None:
+            pending.extend(data)
+            flush()
+
+        conn.on_data = feed
+        conn.on_send_space = flush
         conn.on_remote_close = conn.close
 
     return on_accept

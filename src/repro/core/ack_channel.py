@@ -13,7 +13,7 @@ connections, and lost messages are absorbed by client retransmissions
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.netsim.addressing import IPAddress, as_address
 from repro.netsim.simulator import Timer
@@ -25,6 +25,17 @@ if TYPE_CHECKING:
 ACK_CHANNEL_PORT = 5500
 
 
+def _fletcher_mix(values) -> int:
+    """Deterministic 32-bit checksum over a sequence of ints (FNV-1a
+    over the 32-bit truncations) — the simulated stand-in for the
+    UDP/IP checksum that real ack-channel datagrams would carry."""
+    h = 0x811C9DC5
+    for v in values:
+        h ^= int(v) & 0xFFFFFFFF
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
 @dataclass
 class AckChannelMessage:
     """Flow-control fields of one would-be TCP packet of a backup.
@@ -34,6 +45,13 @@ class AckChannelMessage:
     sent; ``ack`` is the packet's ACKNOWLEDGEMENT NUMBER.  Both are raw
     32-bit wire values: primary and backups share ISS/IRS (deterministic
     ISS), so the numbers are directly comparable at the receiver.
+
+    ``epoch`` stamps the sender's configuration epoch (DESIGN.md §9) so
+    a receiver can reject reports from a stale view, and ``checksum``
+    covers every field: both live in the 36-byte wire image's header
+    headroom, so the wire size is unchanged.  ``checksum=None`` (the
+    default) self-computes — a corrupted-in-flight copy keeps the
+    original's now-stale checksum and is dropped on arrival.
     """
 
     service_ip: IPAddress
@@ -42,8 +60,30 @@ class AckChannelMessage:
     client_port: int
     seq_next: int
     ack: int
+    epoch: int = 0
+    checksum: Optional[int] = None
 
     wire_size = 36
+
+    def __post_init__(self):
+        if self.checksum is None:
+            self.checksum = self._compute_checksum()
+
+    def _compute_checksum(self) -> int:
+        return _fletcher_mix(
+            (
+                self.service_ip,
+                self.service_port,
+                self.client_ip,
+                self.client_port,
+                self.seq_next,
+                self.ack,
+                self.epoch,
+            )
+        )
+
+    def checksum_valid(self) -> bool:
+        return self.checksum == self._compute_checksum()
 
     @property
     def connection_key(self) -> tuple[IPAddress, int, IPAddress, int]:
@@ -56,6 +96,10 @@ class AckChannelEndpoint:
     Dispatches incoming messages to the ft port handling the service,
     and sends outgoing messages to the predecessor server.
     """
+
+    #: Class-level so the mutation harness can switch validation off
+    #: and prove the monitors notice (tests/invariants/test_mutation).
+    validate_checksums = True
 
     def __init__(self, host_server: "HostServer", port: int = ACK_CHANNEL_PORT):
         self.host_server = host_server
@@ -71,6 +115,7 @@ class AckChannelEndpoint:
         self.messages_sent = 0
         self.messages_received = 0
         self.messages_unclaimed = 0
+        self.messages_corrupt_dropped = 0
 
     def register(
         self,
@@ -95,6 +140,13 @@ class AckChannelEndpoint:
         self._dispatch(data, src_ip)
 
     def _dispatch(self, data: AckChannelMessage, src_ip: IPAddress) -> None:
+        if self.validate_checksums and not data.checksum_valid():
+            # Corrupted in flight: drop before anything (including the
+            # monitors) can see the bogus watermarks.  Honest senders
+            # always produce a valid checksum, so this path only fires
+            # under fault injection.
+            self.messages_corrupt_dropped += 1
+            return
         invariants = self.sim.invariants
         if invariants is not None:
             invariants.on_ack_channel_message(data, src_ip)

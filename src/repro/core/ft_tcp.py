@@ -64,6 +64,20 @@ DEFAULT_CATCHUP_LOG_LIMIT = 4 * 1024 * 1024
 #: an era 1500-byte-MTU link).
 DEFAULT_CATCHUP_CHUNK = 4096
 
+#: Base-transfer pieces kept in flight at once (ack-clocked): enough to
+#: keep the pipe busy across one mgmt RTT, small enough that a burst
+#: can never overflow a bottleneck drop-tail queue.
+CATCHUP_WINDOW = 4
+
+#: Watermark-plausibility slack (DESIGN.md §14).  A successor's honest
+#: progress can lead this replica's local view by in-flight window
+#: amounts (at most a receive window ≈ 64 kB each way); a claim beyond
+#: local knowledge plus this slack is provably impossible and treated
+#: as lying evidence.  Generous enough that no honest skew ever trips
+#: it, small enough that a meaningful lie (such as a 1 MB inflation)
+#: cannot hide inside it.
+PROGRESS_SLACK = 256 * 1024
+
 
 class FtError(RuntimeError):
     pass
@@ -103,6 +117,11 @@ class CatchupLog:
 class FtConnectionState:
     """Per-connection fault-tolerance state on one replica."""
 
+    #: Class-level so the mutation harness can disable watermark
+    #: plausibility checking and prove ``ProgressTruthfulness`` notices
+    #: (tests/invariants/test_mutation).
+    validate_progress = True
+
     def __init__(self, port: "FtPort", conn: TcpConnection, gated: bool):
         self.port = port
         self.conn = conn
@@ -119,6 +138,15 @@ class FtConnectionState:
         self.successor_deposited_upto = 0
         self.successor_ip: Optional[IPAddress] = None
         self.last_successor_msg: Optional[float] = None
+        #: When this replica last reported its own progress upstream
+        #: (segment-driven or announced) — the keepalive only fills
+        #: gaps the data path leaves.
+        self.last_report_sent: Optional[float] = None
+        #: Highest epoch seen from the *current* successor — progress
+        #: reports stamped with an older epoch are stale-view traffic
+        #: (reordered or fenced) and are dropped.  Reset when the
+        #: successor changes: epochs are only comparable per sender.
+        self._successor_epoch = 0
         # Messages that arrived before the handshake fixed IRS.
         self._pending_raw: list[AckChannelMessage] = []
         #: Client stream retained for live joins (recovery subsystem).
@@ -151,7 +179,9 @@ class FtConnectionState:
             client_port=conn.remote_port,
             seq_next=seq_add(conn.iss, 1 + conn.snd_nxt),
             ack=seq_add(conn.irs, 1 + conn.ack_point),
+            epoch=port.epoch,
         )
+        self.last_report_sent = port.sim.now
         port.ack_endpoint.send(message, port.predecessor_ip)
 
     # -- gates installed into the TCB ---------------------------------
@@ -171,31 +201,64 @@ class FtConnectionState:
     # -- ack-channel input ----------------------------------------------
 
     def apply(self, message: AckChannelMessage, sender: IPAddress) -> None:
+        if sender != self.successor_ip:
+            # New successor: its epoch history starts fresh.
+            self._successor_epoch = 0
         self.successor_ip = sender
         self.last_successor_msg = self.port.sim.now
         if self.conn.irs is None:
             if len(self._pending_raw) < 16:
                 self._pending_raw.append(message)
             return
-        self._apply_wire(message.seq_next, message.ack)
+        self._apply_wire(message.seq_next, message.ack, message.epoch)
 
-    def _apply_wire(self, seq_next: int, ack: int) -> None:
+    def _apply_wire(self, seq_next: int, ack: int, epoch: int = 0) -> None:
         conn = self.conn
-        invariants = self.port.sim.invariants
-        if invariants is not None:
-            invariants.on_successor_report(self, seq_next, ack)
+        port = self.port
+        if epoch < self._successor_epoch:
+            # A report from a view the successor itself has already
+            # left (delayed/re-queued in flight): acting on it could
+            # regress our notion of a *different* chain's progress.
+            port.stale_epoch_dropped += 1
+            return
+        self._successor_epoch = epoch
         sent = seq_diff(seq_next, seq_add(conn.iss, 1))
         deposited = seq_diff(ack, seq_add(conn.irs, 1))
+        if self.validate_progress and not self._progress_plausible(sent, deposited):
+            # The successor claims progress beyond what the client can
+            # possibly have produced: lying evidence, never apply it.
+            port._note_lie_evidence(self)
+            return
+        invariants = port.sim.invariants
+        if invariants is not None:
+            # Accepted reports only: the monitors' successor view must
+            # mirror what this replica actually acts on.
+            invariants.on_successor_report(self, seq_next, ack)
         if sent > self.successor_sent_upto:
             self.successor_sent_upto = sent
         if deposited > self.successor_deposited_upto:
             self.successor_deposited_upto = deposited
 
+    def _progress_plausible(self, sent: int, deposited: int) -> bool:
+        """Bounded-plausibility check on a successor's claimed progress
+        (DESIGN.md §14).  The successor deposits the same client stream
+        we see and computes the same deterministic response, so neither
+        watermark can honestly lead our local state by more than
+        in-flight window amounts — ``PROGRESS_SLACK`` over-approximates
+        those.  Regressions need no check: the monotonic-max update
+        already ignores them."""
+        conn = self.conn
+        if deposited > conn.reassembler.in_order_end + PROGRESS_SLACK:
+            return False
+        if sent > conn.send_buffer.end + PROGRESS_SLACK:
+            return False
+        return True
+
     def _drain_pending(self) -> None:
         if self._pending_raw and self.conn.irs is not None:
             pending, self._pending_raw = self._pending_raw, []
             for message in pending:
-                self._apply_wire(message.seq_next, message.ack)
+                self._apply_wire(message.seq_next, message.ack, message.epoch)
 
     def blocked_on_successor(self) -> bool:
         """True when this connection cannot make progress until the
@@ -279,6 +342,9 @@ class FtPort:
         self.catchup_chunk_size = DEFAULT_CATCHUP_CHUNK
         #: Donor side: joiner ip -> connection keys being fed deltas.
         self._catchup_feeds: dict[IPAddress, set[ClientKey]] = {}
+        #: Donor side: joiner ip -> base-transfer pieces not yet sent
+        #: (drained ack-clocked, CATCHUP_WINDOW pieces in flight).
+        self._catchup_queues: dict[IPAddress, list] = {}
         #: Joiner side: deltas that outran the base snapshot install.
         self._pending_deltas: dict[ClientKey, list[ConnSnapshot]] = {}
         #: Joiner side: per-connection stream length of the base cut —
@@ -295,6 +361,22 @@ class FtPort:
         self.demotions = 0
         self.chain_updates_applied = 0
         self._last_liveness_report: Optional[float] = None
+        #: Gray-failure defenses (DESIGN.md §14): implausible progress
+        #: reports rejected, stale-epoch reports dropped, and failure
+        #: reports raised against a lying or slow-but-alive successor.
+        self.implausible_reports = 0
+        self.stale_epoch_dropped = 0
+        self.lie_reports = 0
+        self.degradation_reports = 0
+        self._last_lie_report: Optional[float] = None
+        self._last_degradation_report: Optional[float] = None
+        #: client key -> sim time its connection first stalled on the
+        #: successor (degradation mode only; empty otherwise).
+        self._blocked_since: dict[ClientKey, float] = {}
+        #: client key -> successor watermarks observed when the stall
+        #: clock last (re)started.  Any advance resets the clock: a
+        #: saturated-but-moving successor is congestion, not failure.
+        self._blocked_marks: dict[ClientKey, tuple[int, int]] = {}
         #: View epoch this replica believes it is in (DESIGN.md §9).
         #: The primary stamps it on every client-bound segment; the
         #: redirector fences output stamped with an older epoch.
@@ -363,6 +445,7 @@ class FtPort:
         key = (conn.remote_ip, conn.remote_port)
         state = FtConnectionState(self, conn, gated=self.has_successor)
         self.states[key] = state
+        conn.clamp_future_acks = True
         conn.deposit_limit = state.deposit_ceiling
         conn.transmit_limit = state.transmit_ceiling
         conn.output_filter = lambda segment: self._filter_output(state, segment)
@@ -406,8 +489,10 @@ class FtPort:
             client_port=state.conn.remote_port,
             seq_next=seq_add(segment.seq, segment.seq_span),
             ack=segment.ack if segment.has_ack else 0,
+            epoch=self.epoch,
         )
         if self.predecessor_ip is not None:
+            state.last_report_sent = self.sim.now
             self.ack_endpoint.send(message, self.predecessor_ip)
         return True
 
@@ -470,14 +555,55 @@ class FtPort:
                 else self.epoch
             )
 
+    def _note_lie_evidence(self, state: FtConnectionState) -> None:
+        """A successor's progress report failed the plausibility check.
+        The report is already discarded; here we escalate: repeated
+        lying evidence is reported to the redirector, whose congestion
+        rule (several reports against the same suspect inside its
+        window) excises the liar via the normal reconfiguration path —
+        and once removed, any report the zombie still sends triggers
+        the demote fence (DESIGN.md §9)."""
+        self.implausible_reports += 1
+        if (
+            self.daemon is None
+            or self.shut_down
+            or self.joining
+            or self.host_server.crashed
+        ):
+            return
+        suspect = state.successor_ip
+        if suspect is None:
+            return
+        now = self.sim.now
+        if (
+            self._last_lie_report is not None
+            and now - self._last_lie_report < self.detector_params.cooldown
+        ):
+            return
+        self._last_lie_report = now
+        self.lie_reports += 1
+        # Reported directly (not via _report_failure): lying evidence
+        # names a definite suspect and must never double as a
+        # promotion bid.
+        self.daemon.report_failure(self.service_ip, self.port, [suspect])
+
     def _liveness_check(self) -> None:
         if self.shut_down or self.host_server.crashed:
             return
         self._liveness_timer.start(self._liveness_period)
-        if self.joining or not self.has_successor or self.daemon is None:
+        if self.joining:
             return
+        if self.detector_params.degradation_timeout is not None:
+            self._keepalive_announce()
+        if not self.has_successor or self.daemon is None:
+            return
+        invariants = self.sim.invariants
+        if invariants is not None:
+            invariants.on_liveness_tick(self)
         quiet = self.detector_params.successor_quiet
         now = self.sim.now
+        if self.detector_params.degradation_timeout is not None:
+            self._degradation_check(now, quiet)
         if (
             self._last_liveness_report is not None
             and now - self._last_liveness_report < self.detector_params.cooldown
@@ -493,6 +619,76 @@ class FtPort:
                 suspects = [state.successor_ip] if state.successor_ip else []
                 self.daemon.report_failure(self.service_ip, self.port, suspects)
                 return
+
+    def _keepalive_announce(self) -> None:
+        """Backup-side ack-channel keepalive (degradation mode only,
+        DESIGN.md §14).  Progress reports are otherwise segment-driven,
+        which starves the evidence stream exactly when it matters: a
+        primary blocked on a wedged successor stops ACKing the client,
+        the client's send window fills, no more segments reach the
+        backups — and every replica goes quiet on the channel, making a
+        wedged-but-alive successor indistinguishable from a crashed one.
+        Announcing current progress each liveness tick (only when the
+        data path has been idle that long) keeps honest replicas
+        observably alive so the zero-progress degradation criterion —
+        and the OutputLiveness monitor — can tell the two apart."""
+        if self.predecessor_ip is None:
+            return
+        now = self.sim.now
+        for state in self.states.values():
+            if state.conn.state == TcpState.CLOSED:
+                continue
+            last = state.last_report_sent
+            if last is not None and now - last < self._liveness_period:
+                continue
+            state.announce()
+
+    def _degradation_check(self, now: float, quiet: float) -> None:
+        """Graceful degradation (DESIGN.md §14): a successor that keeps
+        *talking* on the acknowledgement channel — so the quiet-based
+        check never fires — while our output stays blocked on it and its
+        watermarks make *zero progress* past ``degradation_timeout`` is
+        a wedged or lying gray failure.  The progress requirement is the
+        load-shedding guard: a merely slow (or saturated) successor
+        still advances ``successor_sent_upto``/``successor_deposited_upto``
+        every tick, which resets the stall clock, so honest congestion is
+        never excised.  A truly wedged one is reported to the redirector;
+        the congestion rule then excises it from the chain (the recovery
+        manager's spare pool restores the replication degree via the
+        live-join splice)."""
+        timeout = self.detector_params.degradation_timeout
+        reported = False
+        for key, state in self.states.items():
+            stalled = (
+                state.conn.state != TcpState.CLOSED and state.blocked_on_successor()
+            )
+            if not stalled:
+                self._blocked_since.pop(key, None)
+                self._blocked_marks.pop(key, None)
+                continue
+            marks = (state.successor_sent_upto, state.successor_deposited_upto)
+            if self._blocked_marks.get(key) != marks:
+                # Watermarks advanced (or first stalled tick): restart
+                # the zero-progress clock.
+                self._blocked_marks[key] = marks
+                self._blocked_since[key] = now
+                continue
+            since = self._blocked_since.setdefault(key, now)
+            if reported or now - since <= timeout:
+                continue
+            if state.successor_ip is None or state.successor_silence() > quiet:
+                continue  # silent successor: the classic path handles it
+            if (
+                self._last_degradation_report is not None
+                and now - self._last_degradation_report < self.detector_params.cooldown
+            ):
+                continue
+            self._last_degradation_report = now
+            self.degradation_reports += 1
+            self.daemon.report_failure(
+                self.service_ip, self.port, [state.successor_ip]
+            )
+            reported = True
 
     def _quiet_successor(self) -> Optional[IPAddress]:
         """Name the successor as a suspect if it has gone quiet on the
@@ -560,20 +756,44 @@ class FtPort:
         )
         self.daemon.send_snapshot(snapshot, joiner_ip)
         self.snapshots_sent += 1
-        for piece in tail_chunks:
-            self.daemon.send_snapshot(
-                StateSnapshot(
-                    service_ip=self.service_ip,
-                    port=self.port,
-                    donor_ip=self.host_server.ip,
-                    conns=(piece,),
-                    delta=True,
-                ),
-                joiner_ip,
-            )
+        # Ack-clocked window over the tail chunks: dumping the whole
+        # base transfer into the socket at once overflows the drop-tail
+        # queue on the donor's uplink, which loses snapshot pieces AND
+        # the donor's own pongs/reports — a live donor under transfer
+        # then reads as dead to the redirector's probe.  Keeping only a
+        # few chunks in flight self-paces the transfer to the path.
+        queue = list(reversed(tail_chunks))
+        self._catchup_queues[joiner_ip] = queue
+        in_flight = {"n": 0}
+
+        def pump() -> None:
+            if self.shut_down or self._catchup_queues.get(joiner_ip) is not queue:
+                return
+            while queue and in_flight["n"] < CATCHUP_WINDOW:
+                piece = queue.pop()
+                in_flight["n"] += 1
+                self.daemon.send_snapshot(
+                    StateSnapshot(
+                        service_ip=self.service_ip,
+                        port=self.port,
+                        donor_ip=self.host_server.ip,
+                        conns=(piece,),
+                        delta=True,
+                    ),
+                    joiner_ip,
+                    on_settled=settled,
+                )
+
+        def settled() -> None:
+            in_flight["n"] -= 1
+            pump()
+
+        pump()
 
     def end_catchup_feed(self, joiner_ip) -> None:
-        self._catchup_feeds.pop(as_address(joiner_ip), None)
+        joiner_ip = as_address(joiner_ip)
+        self._catchup_feeds.pop(joiner_ip, None)
+        self._catchup_queues.pop(joiner_ip, None)
 
     def _forward_delta(self, state: FtConnectionState, start: int, data: bytes) -> None:
         """Forward one deposit to every joiner catching up on this
@@ -822,6 +1042,7 @@ class FtPort:
             state.conn.kill_silently()
         self.states.clear()
         self._catchup_feeds.clear()
+        self._catchup_queues.clear()
         self._pending_deltas.clear()
         self._catchup_targets.clear()
 

@@ -13,6 +13,8 @@ even for idle services.  Both run side by side in
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -73,8 +75,33 @@ class HeartbeatSender:
 
 
 class HeartbeatDetector:
-    """Redirector-side: declare replicas dead after ``tolerance``
-    silent periods and trigger the normal reconfiguration path."""
+    """Redirector-side adaptive failure detector.
+
+    Instead of a fixed ``period * tolerance`` deadline, each replica's
+    timeout adapts to its *observed* heartbeat inter-arrival
+    distribution (phi-accrual style, DESIGN.md §14): a sliding window
+    of samples yields a per-replica timeout of
+    ``tolerance * mean + STD_FACTOR * std``, clamped to
+    ``[period, CAP_FACTOR * period * tolerance]``.  Until
+    ``MIN_SAMPLES`` arrivals have been seen the detector falls back to
+    the classic fixed deadline, so cold-start behaviour is unchanged.
+
+    The payoff under gray failures: a replica whose heartbeats arrive
+    with growing jitter (asymmetric loss eats every other beat) widens
+    its own timeout instead of flapping in and out of the replica set,
+    while a clean-cadence replica keeps a tight timeout and is excised
+    quickly when it truly dies.  Everything is computed from simulated
+    arrival times — fully deterministic per seed.
+    """
+
+    #: Inter-arrival samples kept per replica.
+    SAMPLE_WINDOW = 20
+    #: Below this many samples the fixed deadline applies.
+    MIN_SAMPLES = 4
+    #: Standard deviations of headroom above the scaled mean.
+    STD_FACTOR = 3.0
+    #: Adaptive timeout never exceeds this multiple of the fixed one.
+    CAP_FACTOR = 3.0
 
     def __init__(
         self,
@@ -88,6 +115,8 @@ class HeartbeatDetector:
         self.tolerance = tolerance
         # (service key, replica ip) -> last heartbeat time.
         self._last_heard: dict[tuple, float] = {}
+        # (service key, replica ip) -> recent inter-arrival samples.
+        self._samples: dict[tuple, deque] = {}
         # Replicas present in the table but never heard from: when we
         # first noticed them (a replica that dies before its first
         # heartbeat must still be detected).
@@ -116,12 +145,42 @@ class HeartbeatDetector:
             self.zombie_heartbeats += 1
             self.daemon._send_demote(service_key, sender, entry.epoch)
             return
-        self._last_heard[(service_key, sender)] = self.sim.now
+        key = (service_key, sender)
+        now = self.sim.now
+        prev = self._last_heard.get(key)
+        if prev is not None and now > prev:
+            samples = self._samples.get(key)
+            if samples is None:
+                samples = self._samples[key] = deque(maxlen=self.SAMPLE_WINDOW)
+            samples.append(now - prev)
+        self._last_heard[key] = now
+
+    def timeout_for(self, key: tuple) -> float:
+        """The silence (seconds) after which ``key`` becomes suspect."""
+        samples = self._samples.get(key)
+        fixed = self.period * self.tolerance
+        if samples is None or len(samples) < self.MIN_SAMPLES:
+            return fixed
+        n = len(samples)
+        mean = sum(samples) / n
+        var = sum((s - mean) ** 2 for s in samples) / n
+        adaptive = self.tolerance * mean + self.STD_FACTOR * math.sqrt(var)
+        return min(max(adaptive, self.period), self.CAP_FACTOR * fixed)
+
+    def suspicion(self, service_key, replica) -> float:
+        """Current suspicion score: elapsed silence over the adaptive
+        timeout.  > 1.0 means the next sweep will excise the replica."""
+        key = (service_key, replica)
+        heard = self._last_heard.get(key)
+        if heard is None:
+            heard = self._watching.get(key)
+        if heard is None:
+            return 0.0
+        return (self.sim.now - heard) / self.timeout_for(key)
 
     def _sweep(self) -> None:
         self._timer.start(self.period)
         now = self.sim.now
-        deadline = now - self.period * self.tolerance
         suspects: dict = {}
         current: set[tuple] = set()
         for service_key, entry in list(self.daemon.redirector.table.items()):
@@ -134,16 +193,23 @@ class HeartbeatDetector:
                 if heard is None:
                     # Never heard: start the clock when first noticed.
                     heard = self._watching.setdefault(key, now)
-                if heard < deadline:
+                # Strictly greater than: a replica exactly at the
+                # boundary survives one more sweep.  The elapsed time
+                # is compared directly against the timeout — never via
+                # a precomputed ``now - timeout`` deadline, whose
+                # rounding made boundary behaviour drift across seeds.
+                if now - heard > self.timeout_for(key):
                     suspects.setdefault(service_key, set()).add(replica)
         # Forget replicas no longer in the table.
         self._last_heard = {k: v for k, v in self._last_heard.items() if k in current}
         self._watching = {k: v for k, v in self._watching.items() if k in current}
+        self._samples = {k: v for k, v in self._samples.items() if k in current}
         for service_key, dead in suspects.items():
             self.detections += 1
             for replica in dead:
                 self._last_heard.pop((service_key, replica), None)
                 self._watching.pop((service_key, replica), None)
+                self._samples.pop((service_key, replica), None)
             self.daemon._remove_and_rechain(service_key, dead)
 
     def stop(self) -> None:

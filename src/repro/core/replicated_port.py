@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 
 class PortMode(enum.Enum):
@@ -39,12 +40,21 @@ class DetectorParams:
     #: The successor is named as a suspect if the acknowledgement
     #: channel has been quiet for this long while connections stall.
     successor_quiet: float = 1.0
+    #: Graceful degradation (DESIGN.md §14): when set, a successor that
+    #: keeps *talking* on the acknowledgement channel but leaves our
+    #: output blocked for longer than this is reported as a suspect —
+    #: the gray-failure case (slow-but-alive replica) the quiet-based
+    #: check above is blind to.  ``None`` (the default) disables the
+    #: check entirely, preserving classic fail-stop-only behaviour.
+    degradation_timeout: Optional[float] = None
 
     def __post_init__(self):
         if self.threshold < 1:
             raise ValueError("threshold must be >= 1")
         if self.window <= 0 or self.cooldown < 0:
             raise ValueError("bad detector window/cooldown")
+        if self.degradation_timeout is not None and self.degradation_timeout <= 0:
+            raise ValueError("degradation_timeout must be positive")
 
 
 @dataclass

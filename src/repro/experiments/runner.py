@@ -47,6 +47,7 @@ from . import (
     failover,
     figure4,
     fragmentation,
+    gray_failures,
     mesh_scaling,
     ordered_channel,
     partition,
@@ -68,6 +69,7 @@ EXPERIMENTS = [
     ("D3 autonomous recovery (live state transfer)", recovery),
     ("D4 partition / split-brain fencing", partition),
     ("D5 mesh scaling (datacenter mesh)", mesh_scaling),
+    ("D6 gray failures (adversary catalogue)", gray_failures),
 ]
 
 #: Relative wall-clock hints for whole-module tasks (measured serial

@@ -1,5 +1,5 @@
 """Deterministic fault injection for experiments."""
 
-from .injection import FaultEvent, FaultPlan
+from .injection import FaultEvent, FaultPlan, GrayFaultPlan
 
-__all__ = ["FaultEvent", "FaultPlan"]
+__all__ = ["FaultEvent", "FaultPlan", "GrayFaultPlan"]

@@ -1,4 +1,5 @@
-"""Fault injection: crashes, partitions, loss bursts, congestion.
+"""Fault injection: crashes, partitions, loss bursts, congestion — and
+the gray-failure catalogue (:class:`GrayFaultPlan`).
 
 Everything is scheduled on the simulator, so experiments declare a
 fault plan up front and stay deterministic.
@@ -6,11 +7,12 @@ fault plan up front and stay deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Optional
 
 from repro.netsim.host import Host
 from repro.netsim.link import Link
+from repro.netsim.packet import Protocol, UDPDatagram
 from repro.netsim.simulator import Simulator
 
 
@@ -37,6 +39,12 @@ class FaultPlan:
         #: host name -> [(crash time, recovery time)]; an open-ended
         #: ``crash_at`` holds ``inf`` until a ``recover_at`` trims it.
         self._crash_windows: dict[str, list[list[float]]] = {}
+        #: (fault kind, target name) -> [(start, end)] for windowed
+        #: link/host faults that save-and-restore an attribute: two
+        #: overlapping windows of the same kind would restore the
+        #: *faulted* value captured by the later window, silently
+        #: leaving the fault in place forever.
+        self._attr_windows: dict[tuple[str, str], list[list[float]]] = {}
 
     def _record(self, kind: str, target: str) -> None:
         self.log.append(FaultEvent(self.sim.now, kind, target))
@@ -52,6 +60,23 @@ class FaultPlan:
             if start < e and s < end:
                 raise ValueError(
                     f"crash window [{start}, {end}) for {host.name} overlaps "
+                    f"an existing window [{s}, {e})"
+                )
+        windows.append([start, end])
+
+    def _reserve_attr_window(
+        self, kind: str, target: str, start: float, end: float
+    ) -> None:
+        self._check_time(start, f"{kind} start time")
+        if end <= start:
+            raise ValueError(
+                f"{kind} window [{start}, {end}) for {target} is empty"
+            )
+        windows = self._attr_windows.setdefault((kind, target), [])
+        for s, e in windows:
+            if start < e and s < end:
+                raise ValueError(
+                    f"{kind} window [{start}, {end}) for {target} overlaps "
                     f"an existing window [{s}, {e})"
                 )
         windows.append([start, end])
@@ -162,7 +187,12 @@ class FaultPlan:
             self.sim.schedule_at(at + duration, up)
 
     def loss_burst(self, link: Link, at: float, duration: float, loss_rate: float) -> None:
-        """Temporarily raise the link's loss rate (both directions)."""
+        """Temporarily raise the link's loss rate (both directions).
+
+        Overlapping bursts on the same link would restore the *bursty*
+        rate captured by the later window, so they raise ``ValueError``
+        just like overlapping crash windows."""
+        self._reserve_attr_window("loss-burst", link.name, at, at + duration)
         original = (link.a_to_b.loss_rate, link.b_to_a.loss_rate)
 
         def start() -> None:
@@ -180,7 +210,11 @@ class FaultPlan:
         self, link: Link, at: float, duration: float, bandwidth_factor: float = 0.1
     ) -> None:
         """Model congestion as a temporary bandwidth collapse — the
-        "spurious unavailability" the paper wants to fail-stop."""
+        "spurious unavailability" the paper wants to fail-stop.
+
+        Overlapping congestion windows on the same link raise
+        ``ValueError`` (same rationale as ``loss_burst``)."""
+        self._reserve_attr_window("congest", link.name, at, at + duration)
         original = (link.a_to_b.bandwidth_bps, link.b_to_a.bandwidth_bps)
 
         def start() -> None:
@@ -211,3 +245,259 @@ class FaultPlan:
 
     def events_of(self, kind: str) -> list[FaultEvent]:
         return [e for e in self.log if e.kind == kind]
+
+
+def _channel_of(link: Link, direction: str):
+    channels = {"a_to_b": link.a_to_b, "b_to_a": link.b_to_a}
+    channel = channels.get(direction)
+    if channel is None:
+        raise ValueError(f"direction must be 'a_to_b' or 'b_to_a', got {direction!r}")
+    return channel
+
+
+def _ack_payload(packet):
+    """The :class:`AckChannelMessage` carried by ``packet`` (possibly
+    wrapped in a :class:`SequencedAckMessage`), or ``None`` if the
+    packet is not ack-channel traffic.  Returns ``(datagram, inner)``."""
+    from repro.core.ack_channel import (
+        ACK_CHANNEL_PORT,
+        AckChannelMessage,
+        SequencedAckMessage,
+    )
+
+    if packet.protocol != Protocol.UDP:
+        return None
+    dgram = packet.payload
+    if not isinstance(dgram, UDPDatagram) or dgram.dst_port != ACK_CHANNEL_PORT:
+        return None
+    data = dgram.data
+    if isinstance(data, SequencedAckMessage):
+        inner = data.inner
+    else:
+        inner = data
+    if not isinstance(inner, AckChannelMessage):
+        return None
+    return dgram, inner
+
+
+class GrayFaultPlan(FaultPlan):
+    """The gray-failure adversary catalogue (DESIGN.md §14).
+
+    Fail-stop faults kill cleanly; these do not.  A gray fault leaves
+    the victim *alive* — slow, lossy in one direction, corrupting or
+    reordering its management traffic, or outright lying about
+    replication progress — which is exactly the adversary class that
+    separates an adaptive detector + validated ack channel from a
+    fixed-timeout, trust-the-wire implementation.
+
+    All randomness is drawn from ``sim.rng``, so a gray schedule is as
+    deterministic as the scenario seed that declared it.
+    """
+
+    # One bit-flip well above the plausibility slack would be invisible
+    # to gating; 2**16 (64 kB) lands inside a realistic window yet is
+    # always caught by the ack-channel checksum.
+    CORRUPT_FLIP = 1 << 16
+
+    # -- slow-but-alive host ---------------------------------------------
+
+    def slow_host_at(
+        self, host: Host, at: float, duration: float, factor: float = 10.0
+    ) -> None:
+        """Multiply every CPU charge on ``host`` by ``factor`` for the
+        window — the canonical gray failure: the replica still beats,
+        still acks, just *late*."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self._reserve_attr_window("slow-host", host.name, at, at + duration)
+
+        def start() -> None:
+            host.cpu_multiplier = factor
+            self._record("slow-host", host.name)
+
+        def stop() -> None:
+            host.cpu_multiplier = 1.0
+            self._record("slow-heal", host.name)
+
+        self.sim.schedule_at(at, start)
+        self.sim.schedule_at(at + duration, stop)
+
+    # -- asymmetric loss --------------------------------------------------
+
+    def asymmetric_loss_at(
+        self,
+        link: Link,
+        direction: str,
+        at: float,
+        duration: float,
+        loss_rate: float,
+    ) -> None:
+        """Raise the loss rate of ONE direction of ``link`` — the other
+        direction stays clean, so naive liveness checks that only watch
+        the healthy direction never fire."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        channel = _channel_of(link, direction)
+        self._reserve_attr_window(
+            "asym-loss", f"{link.name}:{direction}", at, at + duration
+        )
+        original = channel.loss_rate
+
+        def start() -> None:
+            channel.loss_rate = loss_rate
+            self._record("asym-loss", f"{link.name}:{direction}")
+
+        def stop() -> None:
+            channel.loss_rate = original
+            self._record("asym-heal", f"{link.name}:{direction}")
+
+        self.sim.schedule_at(at, start)
+        self.sim.schedule_at(at + duration, stop)
+
+    # -- ack-channel taps -------------------------------------------------
+
+    def _install_tap(
+        self, link: Link, direction: str, kind: str, at: float, duration: float, tap
+    ) -> None:
+        channel = _channel_of(link, direction)
+        # One tap per channel: overlapping taps of any kind would
+        # silently shadow each other, so all tap kinds share a window
+        # reservation on the channel.
+        self._reserve_attr_window(
+            "ack-tap", f"{link.name}:{direction}", at, at + duration
+        )
+
+        def start() -> None:
+            channel.tap = tap
+            self._record(kind, f"{link.name}:{direction}")
+
+        def stop() -> None:
+            channel.tap = None
+            self._record(f"{kind}-heal", f"{link.name}:{direction}")
+
+        self.sim.schedule_at(at, start)
+        self.sim.schedule_at(at + duration, stop)
+
+    def corrupt_ack_at(
+        self,
+        link: Link,
+        direction: str,
+        at: float,
+        duration: float,
+        rate: float = 0.5,
+    ) -> None:
+        """Flip a high bit in the seq/ack watermarks of ack-channel
+        progress reports crossing the channel (probability ``rate`` per
+        report).  The corrupted copy keeps the original's checksum, so
+        a validating endpoint drops it on arrival; a trusting endpoint
+        would swallow a 64 kB watermark jump.  Non-ack traffic passes
+        untouched."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1], got {rate}")
+        channel = _channel_of(link, direction)
+        sim = self.sim
+        flip = self.CORRUPT_FLIP
+
+        def tap(packet) -> bool:
+            from repro.core.ack_channel import SequencedAckMessage
+
+            found = _ack_payload(packet)
+            if found is None or sim.rng.random() >= rate:
+                return False
+            dgram, inner = found
+            # Corrupt a *copy*: the ordered channel retransmits the
+            # original object, which must stay intact.  dc_replace
+            # carries the checksum field over verbatim, so it is now
+            # stale — exactly what wire corruption looks like.
+            bad = dc_replace(
+                inner,
+                seq_next=(inner.seq_next + flip) & 0xFFFFFFFF,
+                ack=(inner.ack + flip) & 0xFFFFFFFF,
+            )
+            data = dgram.data
+            if isinstance(data, SequencedAckMessage):
+                data = SequencedAckMessage(data.seq, bad)
+            else:
+                data = bad
+            mutated = dc_replace(
+                packet, payload=UDPDatagram(dgram.src_port, dgram.dst_port, data)
+            )
+            self._record("corrupt-ack", channel.name)
+            channel.destination.deliver(mutated)
+            return True
+
+        self._install_tap(link, direction, "corrupt-ack-window", at, duration, tap)
+
+    def reorder_ack_at(
+        self,
+        link: Link,
+        direction: str,
+        at: float,
+        duration: float,
+        delay: float = 0.05,
+        rate: float = 0.5,
+    ) -> None:
+        """Hold ack-channel reports crossing the channel for ``delay``
+        seconds (probability ``rate`` per report), re-queueing them
+        behind later traffic — stale watermarks arriving after fresher
+        ones, the bounded-regression case the receiver must reject."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"reorder rate must be in [0, 1], got {rate}")
+        if delay <= 0:
+            raise ValueError(f"reorder delay must be > 0, got {delay}")
+        channel = _channel_of(link, direction)
+        sim = self.sim
+
+        def tap(packet) -> bool:
+            if _ack_payload(packet) is None or sim.rng.random() >= rate:
+                return False
+            self._record("reorder-ack", channel.name)
+            # Re-deliver directly to the NIC after the delay: bypasses
+            # the tap (no loops) and skips the queue (the packet
+            # already paid for transmission once).
+            sim.post(delay, channel.destination.deliver, packet)
+            return True
+
+        self._install_tap(link, direction, "reorder-ack-window", at, duration, tap)
+
+    # -- lying replica ----------------------------------------------------
+
+    def lie_progress_at(
+        self, node, at: float, duration: float, inflate: int = 1_000_000
+    ) -> None:
+        """Compromise ``node`` (an ``FtNode``): progress reports it
+        sends during the window claim ``inflate`` bytes more than the
+        truth, re-checksummed and current-epoch — a *convincing* liar
+        that only watermark-plausibility checks can unmask."""
+        if inflate <= 0:
+            raise ValueError(f"inflate must be > 0, got {inflate}")
+        endpoint = node.ack_endpoint
+        name = getattr(node, "name", str(node))
+        self._reserve_attr_window("lie-progress", name, at, at + duration)
+        original_send = None
+
+        def lying_send(message, dst_ip) -> None:
+            from repro.core.ack_channel import AckChannelMessage
+
+            if isinstance(message, AckChannelMessage):
+                message = dc_replace(
+                    message,
+                    seq_next=(message.seq_next + inflate) & 0xFFFFFFFF,
+                    ack=(message.ack + inflate) & 0xFFFFFFFF,
+                    checksum=None,  # recomputed: the lie validates
+                )
+            original_send(message, dst_ip)
+
+        def start() -> None:
+            nonlocal original_send
+            original_send = endpoint.send
+            endpoint.send = lying_send
+            self._record("lie-progress", name)
+
+        def stop() -> None:
+            if endpoint.send is lying_send:
+                endpoint.send = original_send
+            self._record("lie-heal", name)
+
+        self.sim.schedule_at(at, start)
+        self.sim.schedule_at(at + duration, stop)

@@ -477,7 +477,21 @@ class RedirectorDaemon:
         self._reconfigs[key] = reconfig
         for replica in reconfig.candidates:
             self.channel.send_unreliable(Ping(nonce=reconfig.nonce), replica)
+        # Probes are single unreliable datagrams: under a queue-overflow
+        # burst one lost ping (or pong) would read as replica death.
+        # Re-ping the non-responders midway through the window — a
+        # fail-stopped host stays silent through every retry, so clean
+        # fail-stop detection concludes at the same deadline as before.
+        self.sim.schedule(self.ping_timeout / 3, self._reping, key, reconfig)
+        self.sim.schedule(2 * self.ping_timeout / 3, self._reping, key, reconfig)
         self.sim.schedule(self.ping_timeout, self._finish_probe, key, reconfig)
+
+    def _reping(self, key: ServiceKey, reconfig: "_Reconfiguration") -> None:
+        if self._reconfigs.get(key) is not reconfig:
+            return
+        for replica in reconfig.candidates:
+            if replica not in reconfig.responded:
+                self.channel.send_unreliable(Ping(nonce=reconfig.nonce), replica)
 
     def _handle_pong(self, msg: Pong, src_ip: IPAddress) -> None:
         for reconfig in self._reconfigs.values():
@@ -755,9 +769,9 @@ class HostServerDaemon:
     def _promotion_gave_up(self, message: MgmtMessage) -> None:
         self.promotion_give_ups += 1
 
-    def send_snapshot(self, snapshot: StateSnapshot, dst_ip) -> None:
+    def send_snapshot(self, snapshot: StateSnapshot, dst_ip, on_settled=None) -> None:
         """Donor → joiner: ship a base snapshot or catch-up delta."""
-        self.channel.send(snapshot, as_address(dst_ip))
+        self.channel.send(snapshot, as_address(dst_ip), on_settled=on_settled)
 
     def join_ready(
         self, service_ip, port: int, conn_keys=(), bytes_received: int = 0

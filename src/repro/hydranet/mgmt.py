@@ -340,6 +340,7 @@ class ReliableUdp:
         self.interval = interval
         self.max_tries = max_tries
         self._pending: dict[int, Timer] = {}
+        self._settled_cbs: dict[int, Callable[[], None]] = {}
         self._seen: dict[tuple[IPAddress, int], float] = {}
         self._host = getattr(getattr(sock, "_stack", None), "host", None)
         self.sock.on_datagram = self._receive
@@ -355,12 +356,19 @@ class ReliableUdp:
         dst_port: int = MGMT_PORT,
         policy: Optional[RetryPolicy] = None,
         on_give_up: Optional[Callable[[MgmtMessage], None]] = None,
+        on_settled: Optional[Callable[[], None]] = None,
     ) -> None:
-        """Send reliably (retransmit until acked or tries exhausted)."""
+        """Send reliably (retransmit until acked or tries exhausted).
+
+        ``on_settled`` fires exactly once when the message stops being
+        our problem — acked, given up, cancelled, or dropped with a
+        crashed host — so callers can window a bulk transfer on it."""
         dst = as_address(dst_ip)
         if policy is None:
             policy = RetryPolicy(interval=self.interval, max_tries=self.max_tries)
         tries = {"n": 0}
+        if on_settled is not None:
+            self._settled_cbs[message.msg_id] = on_settled
 
         def transmit() -> None:
             if message.msg_id not in self._pending:
@@ -369,10 +377,12 @@ class ReliableUdp:
                 # Fail-stop: the daemon process died with the host; its
                 # queued retransmissions must never fire after a reboot.
                 self._pending.pop(message.msg_id, None)
+                self._settle(message.msg_id)
                 return
             if tries["n"] >= policy.max_tries:
                 self._pending.pop(message.msg_id, None)
                 self.give_ups += 1
+                self._settle(message.msg_id)
                 if on_give_up is not None:
                     on_give_up(message)
                 return
@@ -387,6 +397,11 @@ class ReliableUdp:
         self.messages_sent += 1
         transmit()
 
+    def _settle(self, msg_id: int) -> None:
+        callback = self._settled_cbs.pop(msg_id, None)
+        if callback is not None:
+            callback()
+
     def cancel(self, msg_id: int) -> None:
         """Withdraw an unacknowledged message (it must not be delivered
         after circumstances changed, e.g. a Shutdown for a replica that
@@ -394,6 +409,7 @@ class ReliableUdp:
         timer = self._pending.pop(msg_id, None)
         if timer is not None:
             timer.stop()
+        self._settle(msg_id)
 
     def send_unreliable(self, message: MgmtMessage, dst_ip, dst_port: int = MGMT_PORT) -> None:
         self.sock.send_to(as_address(dst_ip), dst_port, message)
@@ -404,6 +420,7 @@ class ReliableUdp:
             timer = self._pending.pop(data.acked_id, None)
             if timer is not None:
                 timer.stop()
+            self._settle(data.acked_id)
             return
         if not isinstance(data, MgmtMessage):
             return
@@ -427,3 +444,5 @@ class ReliableUdp:
         for timer in self._pending.values():
             timer.stop()
         self._pending.clear()
+        for msg_id in list(self._settled_cbs):
+            self._settle(msg_id)

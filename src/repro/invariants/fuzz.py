@@ -42,7 +42,7 @@ from repro.experiments.testbeds import (
     SERVICE_IP,
     FtSystem,
 )
-from repro.faults import FaultPlan
+from repro.faults import FaultPlan, GrayFaultPlan
 from repro.hydranet import HostServer, Redirector, RedirectorDaemon
 from repro.netsim import Simulator, Topology
 from repro.sockets import node_for
@@ -55,6 +55,13 @@ from .monitors import attach_invariants
 CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
 
 SPEC_VERSION = 1
+
+#: OutputLiveness stall bound armed in gray scenarios (seconds — think
+#: K·RTT with plenty of headroom for one excision + fail-over round).
+GRAY_LIVENESS_BOUND = 8.0
+
+#: Graceful-degradation timeout used by gray scenarios' replicas.
+GRAY_DEGRADATION_TIMEOUT = 2.0
 
 
 @dataclass
@@ -77,6 +84,12 @@ class ScenarioSpec:
     #: testbed: ``{"kind": ..., "params": {...}, "workload": {...}}``.
     #: ``None`` (the default) keeps old corpus files replayable as-is.
     mesh: Optional[dict] = None
+    #: Gray-failure mode: the schedule may contain gray ops (slow_host,
+    #: asym_loss, corrupt_ack, reorder_ack, lie_progress), replicas run
+    #: with graceful degradation enabled, and the OutputLiveness
+    #: monitor is armed.  ``False`` (the default) keeps old corpus
+    #: files replayable byte-identically.
+    gray: bool = False
     version: int = SPEC_VERSION
 
     def to_json(self) -> dict:
@@ -199,6 +212,96 @@ def _gen_faults(rng: random.Random, n_backups: int, duration: float) -> list:
     return faults
 
 
+def _gen_gray_faults(rng: random.Random, n_backups: int, duration: float) -> list:
+    """Draw 1-2 gray-failure ops (DESIGN.md §14).  Weighted towards
+    ``lie_progress`` so a ``--mutate progress_check`` sweep meets a liar
+    within a few dozen seeds.  One op per (reservation-group, target) —
+    :class:`~repro.faults.GrayFaultPlan` rejects overlapping windows on
+    the same target, and the generator must only emit valid schedules."""
+    faults = []
+    backups = [f"hs_{i}" for i in range(1, 1 + n_backups)]
+    used: set = set()
+    for _ in range(rng.randint(1, 2)):
+        # Earlier than the classic schedule: an unfaulted transfer is
+        # done within a second of traffic start (t=2.0), and a gray op
+        # only bites while traffic is in flight.
+        at = round(2.2 + rng.uniform(0.0, 1.2), 3)
+        roll = rng.random()
+        if roll < 0.40:
+            target = rng.choice(backups)
+            group = ("lie-progress", target)
+            if group in used:
+                continue
+            used.add(group)
+            faults.append(
+                {
+                    "op": "lie_progress",
+                    "target": target,
+                    "at": at,
+                    # Long enough that some windows exceed the liveness
+                    # bound: with excision disabled (mutation) the stall
+                    # then trips OutputLiveness; with it enabled the
+                    # liar is cut out within a couple of seconds.
+                    "duration": round(rng.uniform(4.0, 12.0), 3),
+                    "inflate": rng.choice([500_000, 1_000_000, 2_000_000]),
+                }
+            )
+        elif roll < 0.60:
+            target = rng.choice(["hs_0"] + backups)
+            group = ("slow-host", target)
+            if group in used:
+                continue
+            used.add(group)
+            faults.append(
+                {
+                    "op": "slow_host",
+                    "target": target,
+                    "at": at,
+                    "duration": round(rng.uniform(3.0, 10.0), 3),
+                    "factor": rng.choice([5.0, 10.0, 20.0]),
+                }
+            )
+        elif roll < 0.75:
+            link = rng.choice(["client"] + backups)
+            direction = rng.choice(["a_to_b", "b_to_a"])
+            group = ("asym-loss", f"{link}:{direction}")
+            if group in used:
+                continue
+            used.add(group)
+            faults.append(
+                {
+                    "op": "asym_loss",
+                    "link": link,
+                    "direction": direction,
+                    "at": at,
+                    "duration": round(rng.uniform(2.0, 6.0), 3),
+                    "loss_rate": round(rng.uniform(0.3, 0.9), 3),
+                }
+            )
+        else:
+            # Ack traffic of backup hs_i leaves on its own uplink
+            # (b_to_a: host server -> redirector), so tap there.
+            # corrupt and reorder share the single tap slot per channel.
+            link = rng.choice(backups)
+            group = ("ack-tap", f"{link}:b_to_a")
+            if group in used:
+                continue
+            used.add(group)
+            op = {
+                "op": rng.choice(["corrupt_ack", "reorder_ack"]),
+                "link": link,
+                "direction": "b_to_a",
+                "at": at,
+                "duration": round(rng.uniform(2.0, 6.0), 3),
+                "rate": round(rng.uniform(0.3, 0.8), 3),
+            }
+            if op["op"] == "reorder_ack":
+                op["delay"] = round(rng.uniform(0.02, 0.2), 3)
+            faults.append(op)
+    faults.sort(key=lambda f: f.get("at", f.get("start", 0.0)))
+    return faults
+
+
 def _gen_mesh_faults(rng: random.Random, spokes: int, duration: float) -> list:
     """Fault schedule for a small hub-and-spoke mesh.  Targets are the
     mesh host names; ``partition``/``loss_burst`` links name the host
@@ -292,14 +395,23 @@ def _generate_mesh_spec(scenario_seed: int, rng: random.Random) -> ScenarioSpec:
     )
 
 
-def generate_spec(scenario_seed: int) -> ScenarioSpec:
+def generate_spec(scenario_seed: int, gray: bool = False) -> ScenarioSpec:
     """Derive one scenario deterministically from ``scenario_seed``.
     No environment input: the same seed is the same scenario on every
-    machine and under every ``REPRO_SEED_OFFSET``."""
+    machine and under every ``REPRO_SEED_OFFSET``.
+
+    ``gray=True`` layers gray-failure ops on top of the classic
+    schedule (and forces a non-mesh topology with at least one backup,
+    so there is a chain to lie on).  The classic (``gray=False``) RNG
+    stream is untouched either way — old seeds keep their scenarios.
+    """
     rng = random.Random(scenario_seed * 2654435761 % (2**31))
-    if rng.random() < 0.20:
+    mesh_roll = rng.random()
+    if not gray and mesh_roll < 0.20:
         return _generate_mesh_spec(scenario_seed, rng)
     n_backups = rng.choices([0, 1, 2, 3], weights=[5, 45, 30, 20])[0]
+    if gray and n_backups == 0:
+        n_backups = 1
     if rng.random() < 0.7:
         workload = {
             "kind": "echo",
@@ -322,7 +434,31 @@ def generate_spec(scenario_seed: int) -> ScenarioSpec:
         workload=workload,
         duration=duration,
         faults=_gen_faults(rng, n_backups, duration),
+        gray=gray,
     )
+    if gray:
+        # Drawn *after* every classic draw so the classic stream — and
+        # therefore every pre-existing seed's scenario — is unchanged.
+        spec.faults = sorted(
+            spec.faults + _gen_gray_faults(rng, n_backups, duration),
+            key=lambda f: f.get("at", f.get("start", 0.0)),
+        )
+        # Gray faults only bite while traffic is in flight: a one-shot
+        # echo blast finishes in well under a second, long before any
+        # fault window opens, and a wedged successor would never be
+        # *observed* stalling anything.  Replace the workload with a
+        # paced stream spanning every fault window (plus headroom for
+        # the excision + fail-over round the defenses are allowed).
+        last_fault_end = max(
+            (f.get("at", f.get("start", 0.0)) + f.get("duration", 0.0))
+            for f in spec.faults
+        )
+        spec.workload = {
+            "kind": "paced_echo",
+            "chunk": rng.choice([1024, 2048]),
+            "every": rng.choice([0.02, 0.025]),
+            "until": round(min(last_fault_end + 4.0, 2.0 + duration - 4.0), 3),
+        }
     return spec
 
 
@@ -360,11 +496,18 @@ def build_fuzz_system(spec: ScenarioSpec) -> FtSystem:
     daemon = RedirectorDaemon(redirector)
     nodes = [FtNode(hs, redirector.ip) for hs in servers]
     spare_nodes = nodes[1 + spec.n_backups :]
+    detector = DetectorParams(
+        threshold=3,
+        cooldown=1.0,
+        # Gray scenarios arm graceful degradation so slow-but-alive
+        # successors get excised instead of stalling output forever.
+        degradation_timeout=GRAY_DEGRADATION_TIMEOUT if spec.gray else None,
+    )
     service = ReplicatedTcpService(
         SERVICE_IP,
         port,
         factory,
-        detector=DetectorParams(threshold=3, cooldown=1.0),
+        detector=detector,
         tcp_options=TTCP_TCP_OPTIONS,
     )
     service.add_primary(nodes[0])
@@ -389,8 +532,11 @@ def build_fuzz_system(spec: ScenarioSpec) -> FtSystem:
 
 
 def _apply_faults(system: FtSystem, spec: ScenarioSpec) -> FaultPlan:
-    plan = FaultPlan(system.sim)
+    # GrayFaultPlan is a strict superset of FaultPlan: classic ops
+    # behave identically, so one plan class serves both modes.
+    plan = GrayFaultPlan(system.sim)
     hosts = {hs.name: hs for hs in system.servers}
+    nodes = {node.host_server.name: node for node in system.nodes}
 
     def link_for(name: str):
         if name == "client":
@@ -420,6 +566,42 @@ def _apply_faults(system: FtSystem, spec: ScenarioSpec) -> FaultPlan:
         elif kind == "loss_burst":
             plan.loss_burst(
                 link_for(op["link"]), op["at"], op["duration"], op["loss_rate"]
+            )
+        elif kind == "slow_host":
+            plan.slow_host_at(
+                hosts[op["target"]], op["at"], op["duration"], op.get("factor", 10.0)
+            )
+        elif kind == "asym_loss":
+            plan.asymmetric_loss_at(
+                link_for(op["link"]),
+                op["direction"],
+                op["at"],
+                op["duration"],
+                op["loss_rate"],
+            )
+        elif kind == "corrupt_ack":
+            plan.corrupt_ack_at(
+                link_for(op["link"]),
+                op["direction"],
+                op["at"],
+                op["duration"],
+                op.get("rate", 0.5),
+            )
+        elif kind == "reorder_ack":
+            plan.reorder_ack_at(
+                link_for(op["link"]),
+                op["direction"],
+                op["at"],
+                op["duration"],
+                op.get("delay", 0.05),
+                op.get("rate", 0.5),
+            )
+        elif kind == "lie_progress":
+            plan.lie_progress_at(
+                nodes[op["target"]],
+                op["at"],
+                op["duration"],
+                op.get("inflate", 1_000_000),
             )
         elif kind == "recommission":
             target = op["target"]
@@ -505,12 +687,16 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         return _run_mesh_scenario(spec)
     system = build_fuzz_system(spec)
     invset = attach_invariants(system)
+    if spec.gray:
+        invset.output_liveness.bound = GRAY_LIVENESS_BOUND
     _apply_faults(system, spec)
 
     workload = spec.workload
     got = bytearray()
     payload = b""
-    if workload.get("kind", "echo") == "echo":
+    paced_sent = bytearray()
+    kind = workload.get("kind", "echo")
+    if kind == "echo":
         total = workload["total_bytes"]
         chunk = workload.get("chunk", 2048)
         payload = bytes(i % 251 for i in range(total))
@@ -527,6 +713,28 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         conn.on_established = pump
         conn.on_send_space = pump
         conn.on_data = got.extend
+    elif kind == "paced_echo":
+        # Gray-failure workload: a steady stream for the whole fault
+        # horizon, so a wedged/lying successor has live output to
+        # stall.  The payload is whatever the socket accepted — the
+        # prefix check below runs against it after the horizon.
+        chunk = workload.get("chunk", 2048)
+        every = workload.get("every", 0.025)
+        until = workload.get("until", 2.0 + spec.duration)
+        conn = system.client_node.connect(system.service_ip, system.port)
+        beat = {"n": 0}
+
+        def pace():
+            if system.sim.now >= until:
+                return
+            data = bytes([beat["n"] % 251]) * chunk
+            accepted = conn.send(data)
+            paced_sent.extend(data[:accepted])
+            beat["n"] += 1
+            system.sim.schedule(every, pace)
+
+        conn.on_data = got.extend
+        system.sim.schedule_at(2.5, pace)
     else:
         sender = TtcpSender(
             system.client_node,
@@ -539,6 +747,8 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
 
     system.sim.run(until=2.0 + spec.duration)
 
+    if paced_sent:
+        payload = bytes(paced_sent)
     # Safety, not liveness: with every replica dead the client stalls —
     # fine — but the bytes it *did* get must be the true echo prefix.
     if payload and bytes(got) != payload[: len(got)]:
@@ -616,6 +826,56 @@ def _mutate_fence():
 
 
 @contextmanager
+def _mutate_progress_check():
+    """Disable progress-report plausibility validation: a lying backup's
+    inflated watermarks are applied verbatim — ProgressTruthfulness
+    (and, downstream, the gate monitors) must fire under ``--gray``."""
+    from repro.core.ft_tcp import FtConnectionState
+
+    original = FtConnectionState.validate_progress
+    FtConnectionState.validate_progress = False
+    try:
+        yield
+    finally:
+        FtConnectionState.validate_progress = original
+
+
+@contextmanager
+def _mutate_ack_checksum():
+    """Disable ack-channel checksum validation: corrupted-in-flight
+    messages reach the watermark logic — ProgressTruthfulness must
+    notice the impossible claims under ``--gray``."""
+    from repro.core.ack_channel import AckChannelEndpoint
+
+    original = AckChannelEndpoint.validate_checksums
+    AckChannelEndpoint.validate_checksums = False
+    try:
+        yield
+    finally:
+        AckChannelEndpoint.validate_checksums = original
+
+
+@contextmanager
+def _mutate_excision():
+    """Disable the gray-failure excision pathway — both degraded-
+    successor reporting and lie-evidence reporting.  A successor whose
+    (rejected) reports keep it looking alive then stalls primary output
+    indefinitely, because the classic quiet-based check never sees
+    silence — OutputLiveness must fire under ``--gray``."""
+    from repro.core.ft_tcp import FtPort
+
+    degradation = FtPort._degradation_check
+    lie_evidence = FtPort._note_lie_evidence
+    FtPort._degradation_check = lambda self, now, quiet: None
+    FtPort._note_lie_evidence = lambda self, state: None
+    try:
+        yield
+    finally:
+        FtPort._degradation_check = degradation
+        FtPort._note_lie_evidence = lie_evidence
+
+
+@contextmanager
 def _no_mutation():
     yield
 
@@ -625,6 +885,9 @@ MUTATIONS = {
     "deposit_gate": _mutate_deposit_gate,
     "output_gate": _mutate_output_gate,
     "fence": _mutate_fence,
+    "progress_check": _mutate_progress_check,
+    "ack_checksum": _mutate_ack_checksum,
+    "excision": _mutate_excision,
 }
 
 
@@ -672,10 +935,12 @@ class _ResultSummary:
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
 
-def scenario_task(scenario_seed: int, mutation: Optional[str] = None) -> dict:
+def scenario_task(
+    scenario_seed: int, mutation: Optional[str] = None, gray: bool = False
+) -> dict:
     """Pool task: derive the scenario purely from its integer seed (in
     the worker) and run it; returns a JSON-able summary."""
-    spec = generate_spec(scenario_seed)
+    spec = generate_spec(scenario_seed, gray=gray)
     return _ResultSummary.from_result(run_with_mutation(spec, mutation)).to_dict()
 
 
@@ -735,6 +1000,12 @@ def main(argv=None) -> int:
         "--mutate",
         choices=sorted(k for k in MUTATIONS if k),
         help="run with a protocol gate disabled (mutation check / triage)",
+    )
+    parser.add_argument(
+        "--gray",
+        action="store_true",
+        help="layer gray-failure ops (slow/asymmetric/corrupt/lying "
+        "replicas) onto every generated scenario",
     )
     parser.add_argument(
         "--out", type=Path, default=CORPUS_DIR, help="reproducer output directory"
@@ -801,14 +1072,14 @@ def main(argv=None) -> int:
     # from it (see ``scenario_task``).  The specs generated here in the
     # parent are used purely for the progress line and the cost hint.
     seeds = [args.seed + i for i in range(args.runs)]
-    parent_specs = {seed: generate_spec(seed) for seed in seeds}
+    parent_specs = {seed: generate_spec(seed, gray=args.gray) for seed in seeds}
     tasks = []
     for seed in seeds:
         spec = parent_specs[seed]
         task = Task(
             key=f"seed{seed}",
             fn=scenario_task,
-            kwargs={"scenario_seed": seed, "mutation": args.mutate},
+            kwargs={"scenario_seed": seed, "mutation": args.mutate, "gray": args.gray},
             # Longer simulations with longer chains chew more events;
             # mesh scenarios simulate several racks at once.
             cost=spec.duration * (3.0 if spec.mesh else 1.0 + spec.n_backups),

@@ -255,6 +255,110 @@ class StreamIntegrityMonitor(_Monitor):
         return out
 
 
+class ProgressTruthfulnessMonitor(_Monitor):
+    """DESIGN.md §14: a replica's progress report may never claim more
+    deposited bytes than that replica has *actually* deposited.  The
+    monitor cross-references every accepted acknowledgement-channel
+    claim against its own record of the claiming replica's deposits
+    (from the deposit hook on that replica) — so a lying backup, or a
+    corrupted watermark that slipped past the checksum, is caught even
+    when the ft-TCP plausibility check has been compiled out (the
+    ``progress_check`` mutation)."""
+
+    name = "progress-truthfulness"
+
+    #: A consumed FIN occupies one sequence position past the payload,
+    #: and the claim can race the deposit hook by a hair; anything
+    #: beyond this is a fabricated watermark.
+    SLACK = 64
+
+    def __init__(self, invset: "InvariantSet"):
+        super().__init__(invset)
+        #: (conn key, replica ip str) -> highest deposited end seen.
+        self.deposited_end: dict[tuple, int] = {}
+
+    def on_deposit(self, state: "FtConnectionState", start: int, data: bytes) -> None:
+        key = (_client_key(state), str(state.port.host_server.ip))
+        end = start + len(data)
+        if end > self.deposited_end.get(key, 0):
+            self.deposited_end[key] = end
+
+    def on_claim(self, state: "FtConnectionState", seq_next: int, ack: int) -> None:
+        conn = state.conn
+        if conn.irs is None or state.successor_ip is None or ack == 0:
+            return  # ack=0 is the no-claim sentinel of ack-less segments
+        claimed = seq_diff(ack, seq_add(conn.irs, 1))
+        key = (_client_key(state), str(state.successor_ip))
+        actual = self.deposited_end.get(key, 0)
+        if claimed > actual + self.SLACK:
+            self.report(
+                f"replica {state.successor_ip} claims {claimed} bytes "
+                f"deposited but has only deposited {actual}",
+                _client_key(state),
+            )
+
+
+class OutputLivenessMonitor(_Monitor):
+    """DESIGN.md §14: client-visible output may not stall while the
+    chain is healthy.  Observed at the ft port's liveness tick (the
+    monitor schedules nothing itself): a connection continuously
+    blocked on a successor for longer than ``bound`` seconds — while
+    that successor is demonstrably *alive* on the acknowledgement
+    channel — means graceful degradation failed to excise a
+    slow-but-alive replica.  A silent successor (crash, partition) is
+    exempt: that is the classic fail-stop path's job, and fail-over
+    time is measured elsewhere.
+
+    Disabled until ``bound`` is set (gray-failure scenarios and the D6
+    experiment arm it); legacy scenarios take the identical schedule.
+    """
+
+    name = "output-liveness"
+
+    def __init__(self, invset: "InvariantSet"):
+        super().__init__(invset)
+        #: Stall bound in seconds (think K·RTT); ``None`` disables.
+        self.bound: Optional[float] = None
+        #: How quiet (seconds) a successor may be and still count as
+        #: alive at the moment the stall is judged.
+        self.alive_quiet = 2.0
+        #: id(state) -> [first blocked tick, already reported, marks].
+        #: ``marks`` is the successor watermark pair when the clock last
+        #: (re)started: any advance resets the episode, mirroring the
+        #: port's zero-progress degradation criterion — a saturated but
+        #: moving successor is congestion, not a liveness failure.
+        self._stalled: dict[int, list] = {}
+
+    def on_liveness_tick(self, port: "FtPort") -> None:
+        if self.bound is None:
+            return
+        from repro.tcp.tcb import TcpState
+
+        now = self.invset.sim.now
+        for state in port.states.values():
+            key = id(state)
+            if state.conn.state == TcpState.CLOSED or not state.blocked_on_successor():
+                self._stalled.pop(key, None)
+                continue
+            marks = (state.successor_sent_upto, state.successor_deposited_upto)
+            entry = self._stalled.setdefault(key, [now, False, marks])
+            if entry[2] != marks:
+                entry[0], entry[2] = now, marks
+                continue
+            stalled_for = now - entry[0]
+            if entry[1] or stalled_for <= self.bound:
+                continue
+            if state.successor_ip is None or state.successor_silence() > self.alive_quiet:
+                continue  # successor not demonstrably alive
+            entry[1] = True
+            self.report(
+                f"{port.host_server.name} output blocked {stalled_for:.3f}s "
+                f"(bound {self.bound:.3f}s) on live successor "
+                f"{state.successor_ip}",
+                _client_key(state),
+            )
+
+
 class InvariantSet:
     """The armed monitors plus shared state: attach with
     :func:`attach_invariants`, read :attr:`violations` afterwards."""
@@ -268,6 +372,8 @@ class InvariantSet:
         self.output_ordering = OutputOrderingMonitor(self)
         self.single_primary = SinglePrimaryMonitor(self)
         self.stream_integrity = StreamIntegrityMonitor(self)
+        self.progress_truthfulness = ProgressTruthfulnessMonitor(self)
+        self.output_liveness = OutputLivenessMonitor(self)
         #: (service_ip, port) -> the service's replica list (live view).
         self._services: dict[tuple, list] = {}
         #: FtConnectionState -> the monitors' own successor record.
@@ -325,17 +431,21 @@ class InvariantSet:
         self.stats["deposits"] += 1
         self.atomicity.on_deposit(state, start, data)
         self.stream_integrity.on_deposit(state, start, data)
+        self.progress_truthfulness.on_deposit(state, start, data)
 
     def on_successor_report(
         self, state: "FtConnectionState", seq_next: int, ack: int
     ) -> None:
         """Raw flow-control fields from the acknowledgement channel —
         converted to stream offsets here, independently of the ft-TCP
-        bookkeeping the gates read."""
+        bookkeeping the gates read.  Fired for *accepted* reports only
+        (the ft-TCP layer drops checksum/epoch/plausibility rejects
+        before they reach any gate — or this hook)."""
         self.stats["successor_reports"] += 1
         conn = state.conn
         if conn.irs is None:
             return
+        self.progress_truthfulness.on_claim(state, seq_next, ack)
         view = self.successor_view(state)
         view.reports += 1
         sent = seq_diff(seq_next, seq_add(conn.iss, 1))
@@ -358,6 +468,10 @@ class InvariantSet:
 
     def on_ack_channel_message(self, message, src_ip) -> None:
         self.stats["ack_channel_messages"] += 1
+
+    def on_liveness_tick(self, port: "FtPort") -> None:
+        self.stats["liveness_ticks"] += 1
+        self.output_liveness.on_liveness_tick(port)
 
     def on_fenced(self, segment_epoch: int, entry) -> None:
         self.stats["segments_fenced"] += 1

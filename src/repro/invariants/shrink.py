@@ -62,6 +62,19 @@ def ddmin(
     return items
 
 
+def _max_host_index(spec: ScenarioSpec) -> int:
+    """Largest ``hs_<i>`` index the fault schedule references (targets
+    and links alike) — shortening the chain below it would make the
+    schedule unappliable, so the shrinker must not try."""
+    idx = 0
+    for op in spec.faults:
+        for field in ("target", "link"):
+            name = op.get(field, "")
+            if isinstance(name, str) and name.startswith("hs_"):
+                idx = max(idx, int(name[3:]))
+    return idx
+
+
 def shrink_spec(
     spec: ScenarioSpec,
     reproduces: Callable[[ScenarioSpec], bool],
@@ -106,6 +119,11 @@ def shrink_spec(
             if workload["total_bytes"] <= 4096:
                 break
             workload["total_bytes"] = max(4096, workload["total_bytes"] // 2)
+        elif workload.get("kind") == "paced_echo":
+            until = workload.get("until", 10.0)
+            if until <= 6.0:
+                break
+            workload["until"] = max(6.0, round(until / 2, 3))
         else:
             if workload.get("nbuf", 1) <= 4:
                 break
@@ -132,7 +150,8 @@ def shrink_spec(
 
     # 4. Shorten the chain (classic testbed only; mesh chain lengths
     # live in the generator parameters, which stay fixed).
-    while spec.mesh is None and spec.n_backups > 0 and tracker.spend():
+    floor_backups = max(0, _max_host_index(spec) - spec.n_spares)
+    while spec.mesh is None and spec.n_backups > floor_backups and tracker.spend():
         candidate = replace(spec, n_backups=spec.n_backups - 1)
         if reproduces(candidate):
             spec = candidate

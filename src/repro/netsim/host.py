@@ -107,7 +107,7 @@ class Kernel:
             profile.per_packet_cpu
             + profile.per_byte_cpu * wire_size
             + self.software_overhead
-        )
+        ) * self.host.cpu_multiplier
         now = self.sim._now
         start = now if now >= self._cpu_free_at else self._cpu_free_at
         self._cpu_free_at = start + cost
@@ -118,7 +118,11 @@ class Kernel:
         the per-packet charge already paid."""
         if n_extra <= 0:
             return 0.0
-        cost = n_extra * (self.host.profile.per_packet_cpu + self.software_overhead)
+        cost = (
+            n_extra
+            * (self.host.profile.per_packet_cpu + self.software_overhead)
+            * self.host.cpu_multiplier
+        )
         start = max(self.sim.now, self._cpu_free_at)
         self._cpu_free_at = start + cost
         return self._cpu_free_at - self.sim.now
@@ -292,6 +296,10 @@ class Host:
         self.interfaces: list[NIC] = []
         self.kernel = Kernel(self)
         self.crashed = False
+        # Gray-failure knob: scales every CPU charge on this host.  1.0
+        # is bitwise-identity on the float math, so an untouched host
+        # behaves exactly as before the knob existed.
+        self.cpu_multiplier = 1.0
 
     def add_interface(
         self,

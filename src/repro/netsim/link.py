@@ -41,6 +41,11 @@ class Channel:
         self.loss_rate = loss_rate
         self.queue_capacity = queue_capacity
         self.destination: Optional["NIC"] = None
+        # Optional delivery tap (gray-failure injection): called with
+        # each arriving packet; returning True consumes the packet —
+        # the tap took responsibility for dropping, mutating + passing
+        # on, or re-posting it.  None (the default) is zero-overhead.
+        self.tap = None
         self.up = True
         self._busy_until = 0.0
         self._queued = 0
@@ -87,6 +92,8 @@ class Channel:
     def _arrive(self, packet: IPPacket) -> None:
         if not self.up or self.destination is None:
             trace(self.sim, self.name, "link-down-drop", packet)
+            return
+        if self.tap is not None and self.tap(packet):
             return
         self.destination.deliver(packet)
 

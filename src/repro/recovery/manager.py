@@ -126,10 +126,20 @@ class RecoveryManager:
     # -- the control loop -------------------------------------------------
 
     def _check(self) -> None:
-        if self._join is not None:
-            if self.sim.now - self._join.started_at > self.join_timeout:
+        join = self._join
+        if join is not None:
+            entry = self.daemon.redirector.table.get(self._key())
+            if entry is not None and join.donor_ip not in entry.replicas:
+                # The donor was excised mid-feed: its delta stream died
+                # with it, so the joiner's catch-up cut can never reach
+                # the live tail's stream.  Splicing anyway would gate
+                # the tail on a permanently-gapped successor — abort
+                # and restart against the new tail instead.
                 self._abort_join()
-            return
+            elif self.sim.now - join.started_at > self.join_timeout:
+                self._abort_join()
+            else:
+                return
         degree = self._degree()
         if degree == 0 or degree >= self.target_degree:
             # Degree 0 means the whole service is gone — there is no
@@ -178,6 +188,13 @@ class RecoveryManager:
             or as_address(msg.service_ip) != self.service.service_ip
             or msg.port != self.service.port
         ):
+            return
+        entry = self.daemon.redirector.table.get(self._key())
+        if entry is None or join.donor_ip not in entry.replicas:
+            # JoinReady raced the donor's excision: the joiner is
+            # synced to a stream that ends where the dead donor's
+            # deposits ended, not where the live tail's do.
+            self._abort_join()
             return
         spliced = self.daemon.splice_backup(
             self.service.service_ip, self.service.port, join.node.ip, msg.conn_keys

@@ -159,15 +159,24 @@ def apply_delta(ft_port: "FtPort", snap: ConnSnapshot) -> None:
 def _apply_client_ack(conn: TcpConnection, acked: int) -> None:
     """Advance the synthesized connection's send side to what the
     client has already acknowledged (via the donor).  The replayed
-    response below this point needs no retransmission state."""
-    acked = min(acked, conn.send_buffer.end)
-    if acked <= conn.snd_una:
-        return
-    conn.snd_una = acked
-    conn.snd_nxt = max(conn.snd_nxt, acked)
-    conn.snd_max = max(conn.snd_max, conn.snd_nxt)
-    conn.send_buffer.ack_to(acked)
-    conn.scoreboard.advance(acked)
+    response below this point needs no retransmission state.
+
+    Applied in steps of at most one send-buffer's worth: the replay may
+    have regenerated more response than the buffer holds (the server
+    program parks the overflow behind ``on_send_space``), so each
+    ack-and-free round lets the program refill before the next round —
+    a single clamped pass would strand ``snd_una`` below ``acked``."""
+    while True:
+        step = min(acked, conn.send_buffer.end)
+        if step <= conn.snd_una:
+            break
+        conn.snd_una = step
+        conn.snd_nxt = max(conn.snd_nxt, step)
+        conn.snd_max = max(conn.snd_max, conn.snd_nxt)
+        conn.send_buffer.ack_to(step)
+        conn.scoreboard.advance(step)
+        if conn.on_send_space is not None and conn.send_buffer.free_space > 0:
+            conn.on_send_space()
     if conn.snd_una >= conn.snd_nxt and not (conn.fin_sent and not conn.fin_acked):
         conn.rtx_timer.stop()
     conn.gates_changed()

@@ -157,6 +157,14 @@ class TcpConnection:
         self.on_send_space: Optional[Callable[[], None]] = None
 
         # --- HydraNet-FT hooks ---
+        #: Replicated-service mode (set by the ft layer).  A cumulative
+        #: ACK beyond the locally (re)generated response is clamped to
+        #: it instead of ignored: the primary may have transmitted
+        #: stream bytes this replica has not regenerated yet, so such
+        #: an ACK is valid progress — dropping it wedges ``snd_una``
+        #: (and with it the send buffer) forever on a joiner whose
+        #: catch-up replay lags the client's ack point.
+        self.clamp_future_acks = False
         self.deposit_limit: Optional[Callable[[], Optional[int]]] = None
         self.transmit_limit: Optional[Callable[[], Optional[int]]] = None
         self.output_filter: Optional[Callable[[TCPSegment], bool]] = None
@@ -712,8 +720,10 @@ class TcpConnection:
         fin_point = self._fin_offset() + 1 if self.fin_sent else None
         max_valid = fin_point if fin_point is not None else self.send_buffer.end
         if acked > max_valid:
-            # ACK for data we never sent — ignore.
-            return
+            if not self.clamp_future_acks:
+                # ACK for data we never sent — ignore.
+                return
+            acked = max_valid
         data_acked = min(acked, self.send_buffer.end)
         if data_acked > self.snd_una or (
             fin_point is not None and acked == fin_point and not self.fin_acked

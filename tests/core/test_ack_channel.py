@@ -102,6 +102,115 @@ def test_backup_reports_flow_info_for_pure_acks(testbed):
     assert testbed.nodes[1].ack_endpoint.messages_sent >= 1
 
 
+def test_checksum_self_computes_and_validates():
+    msg = AckChannelMessage(
+        service_ip=IPAddress(SERVICE_IP),
+        service_port=80,
+        client_ip=IPAddress("10.0.0.1"),
+        client_port=5555,
+        seq_next=100,
+        ack=200,
+        epoch=3,
+    )
+    assert msg.checksum is not None
+    assert msg.checksum_valid()
+    # A corrupted-in-flight copy keeps the now-stale checksum.
+    from dataclasses import replace
+
+    bad = replace(msg, ack=(msg.ack + (1 << 16)) & 0xFFFFFFFF)
+    assert not bad.checksum_valid()
+    # Re-checksummed (a *lying sender*, not wire corruption): validates.
+    relied = replace(msg, ack=(msg.ack + (1 << 16)) & 0xFFFFFFFF, checksum=None)
+    assert relied.checksum_valid()
+
+
+def test_corrupt_messages_dropped_before_dispatch(testbed):
+    """A report whose checksum does not cover its fields is dropped at
+    the endpoint — neither the connection state nor the monitors ever
+    see the bogus watermarks."""
+    from dataclasses import replace
+
+    conn = testbed.connect()
+    conn.on_established = lambda: conn.send(b"c" * 5000)
+    testbed.run_for(2.0)
+    endpoint = testbed.nodes[0].ack_endpoint
+    state = list(testbed.primary_handle.ft_port.states.values())[0]
+    sent_before = state.successor_sent_upto
+    good = AckChannelMessage(
+        service_ip=IPAddress(SERVICE_IP),
+        service_port=SERVICE_PORT,
+        client_ip=conn.local_ip,
+        client_port=conn.local_port,
+        seq_next=(state.conn.iss + 1 + sent_before + (1 << 16)) & 0xFFFFFFFF,
+        ack=state.conn.irs + 1,
+    )
+    corrupt = replace(good, ack=(good.ack + (1 << 16)) & 0xFFFFFFFF)
+    assert not corrupt.checksum_valid()
+    endpoint._dispatch(corrupt, testbed.servers[1].ip)
+    assert endpoint.messages_corrupt_dropped == 1
+    assert state.successor_sent_upto == sent_before
+
+
+def test_stale_epoch_reports_dropped(testbed):
+    """A progress report stamped with an older configuration epoch than
+    the sender's freshest is stale-view traffic and never applied."""
+    conn = testbed.connect()
+    conn.on_established = lambda: conn.send(b"e" * 5000)
+    testbed.run_for(2.0)
+    port = testbed.primary_handle.ft_port
+    state = list(port.states.values())[0]
+    sender = testbed.servers[1].ip
+    fresh = AckChannelMessage(
+        service_ip=IPAddress(SERVICE_IP),
+        service_port=SERVICE_PORT,
+        client_ip=conn.local_ip,
+        client_port=conn.local_port,
+        seq_next=state.conn.iss + 1,
+        ack=state.conn.irs + 1,
+        epoch=5,
+    )
+    state.apply(fresh, sender)
+    dropped_before = port.stale_epoch_dropped
+    stale = AckChannelMessage(
+        service_ip=IPAddress(SERVICE_IP),
+        service_port=SERVICE_PORT,
+        client_ip=conn.local_ip,
+        client_port=conn.local_port,
+        seq_next=state.conn.iss + 1,
+        ack=state.conn.irs + 1,
+        epoch=3,
+    )
+    state.apply(stale, sender)
+    assert port.stale_epoch_dropped == dropped_before + 1
+    # A *new* successor starts a fresh epoch history: not stale.
+    state.apply(stale, testbed.servers[0].ip)
+    assert port.stale_epoch_dropped == dropped_before + 1
+
+
+def test_implausible_progress_claim_rejected(testbed):
+    """A syntactically valid, correctly checksummed report claiming
+    progress the client cannot possibly have produced is rejected and
+    counted as lying evidence (the watermarks stay put)."""
+    conn = testbed.connect()
+    conn.on_established = lambda: conn.send(b"p" * 5000)
+    testbed.run_for(2.0)
+    port = testbed.primary_handle.ft_port
+    state = list(port.states.values())[0]
+    deposited_before = state.successor_deposited_upto
+    lie = AckChannelMessage(
+        service_ip=IPAddress(SERVICE_IP),
+        service_port=SERVICE_PORT,
+        client_ip=conn.local_ip,
+        client_port=conn.local_port,
+        seq_next=state.conn.iss + 1,
+        ack=(state.conn.irs + 1 + 50_000_000) & 0xFFFFFFFF,  # impossible
+    )
+    assert lie.checksum_valid()
+    state.apply(lie, testbed.servers[1].ip)
+    assert port.implausible_reports == 1
+    assert state.successor_deposited_upto == deposited_before
+
+
 def test_congestion_shutdown_of_responsive_replica():
     """A replica that answers pings but keeps getting reported is shut
     down by the congestion rule and goes silent (fail-stop)."""

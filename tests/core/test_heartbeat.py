@@ -1,5 +1,8 @@
 """Tests for heartbeat-based failure detection (ablation A7)."""
 
+from collections import deque
+
+import pytest
 
 from repro.apps.echo import echo_server_factory
 from repro.core import DetectorParams
@@ -76,6 +79,78 @@ def test_sender_stop():
     count = senders[1].sent
     system.run_until(10.0)
     assert senders[1].sent == count
+
+
+def test_silence_exactly_at_timeout_survives_the_sweep():
+    """ISSUE 7 satellite: the sweep compares elapsed silence *strictly
+    greater than* the timeout, computed directly on the elapsed time —
+    a replica exactly at the boundary survives one more sweep.  The old
+    ``heard < now - timeout`` deadline form made the boundary drift
+    with float rounding across seeds."""
+    system, detector, senders = build(period=0.5, tolerance=3)
+    system.run_until(5.0)
+    key = next(iter(detector._last_heard))
+    timeout = detector.timeout_for(key)
+    detector._last_heard[key] = system.sim.now - timeout  # exactly at it
+    before = detector.detections
+    detector._sweep()
+    assert detector.detections == before
+    # The tiniest step past the boundary is a suspect.
+    detector._last_heard[key] = system.sim.now - timeout * (1 + 1e-12) - 1e-9
+    detector._sweep()
+    assert detector.detections == before + 1
+
+
+def test_adaptive_timeout_tracks_interarrival_distribution():
+    """The phi-accrual-style timeout: clean cadence keeps the fixed
+    deadline, jitter widens it, and the cap bounds it."""
+    system, detector, senders = build(period=0.5, tolerance=3)
+    key = ("svc", "replica")
+    fixed = detector.period * detector.tolerance
+    window = detector.SAMPLE_WINDOW
+
+    # Too few samples: the classic fixed deadline applies.
+    detector._samples[key] = deque([0.5] * (detector.MIN_SAMPLES - 1), maxlen=window)
+    assert detector.timeout_for(key) == fixed
+
+    # Clean cadence at exactly the period: identical to the fixed one.
+    detector._samples[key] = deque([0.5] * 10, maxlen=window)
+    assert detector.timeout_for(key) == pytest.approx(fixed)
+
+    # Jittery arrivals (asymmetric loss eating every other beat) widen
+    # the timeout instead of flapping the replica.
+    detector._samples[key] = deque([0.2, 1.2] * 5, maxlen=window)
+    assert detector.timeout_for(key) > fixed
+
+    # But never beyond the cap.
+    detector._samples[key] = deque([10.0] * 10, maxlen=window)
+    assert detector.timeout_for(key) == detector.CAP_FACTOR * fixed
+
+
+def test_jittery_heartbeats_do_not_flap_the_replica():
+    """Functional: a backup whose heartbeats arrive with heavy jitter
+    (but always inside the adaptive timeout) is never excised."""
+    system, detector, senders = build(period=0.5, tolerance=3)
+    # Make the backup's sender stutter: stop/restart its timer so beats
+    # arrive at alternating 0.2s / 0.9s gaps instead of a clean 0.5s.
+    sender = senders[1]
+    sender.stop()
+    gaps = [0.2, 0.9]
+
+    def beat(i=0):
+        from repro.core.heartbeat import Heartbeat
+
+        sender.daemon.channel.send_unreliable(
+            Heartbeat(sender.service_ip, sender.port, sender.daemon.ip),
+            sender.daemon.redirector_ip,
+        )
+        system.sim.schedule(gaps[i % 2], beat, (i + 1) % 2)
+
+    system.sim.schedule(0.1, beat)
+    system.run_until(30.0)
+    assert detector.detections == 0
+    entry = system.redirector.entry_for(system.service_ip, 7)
+    assert len(entry.replicas) == 2
 
 
 def test_replica_that_never_beat_is_detected():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import FaultPlan
+from repro.faults import FaultPlan, GrayFaultPlan
 from repro.netsim import IPPacket, Protocol, RawData, Simulator, Topology, ZERO_COST
 
 
@@ -209,6 +209,140 @@ def test_disjoint_crash_windows_and_other_hosts_are_fine(net):
     sim.run(until=10.0)
     assert [e.time for e in plan.events_of("crash")] == [1.0, 1.5, 3.0]
     assert not a.crashed and not b.crashed
+
+
+def test_rejects_overlapping_loss_burst_windows(net):
+    """ISSUE 7 satellite: overlapping loss bursts on the same link would
+    restore the *bursty* rate captured by the later window, silently
+    leaving the link lossy forever — reject at declaration time."""
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.loss_burst(link, 1.0, duration=2.0, loss_rate=1.0)   # [1, 3)
+    with pytest.raises(ValueError):
+        plan.loss_burst(link, 2.0, duration=2.0, loss_rate=0.5)
+    with pytest.raises(ValueError):
+        plan.loss_burst(link, 0.5, duration=1.0, loss_rate=0.5)  # tail overlaps
+    # Disjoint window on the same link: fine.
+    plan.loss_burst(link, 3.0, duration=1.0, loss_rate=0.5)
+    sim.run(until=10.0)
+    assert link.a_to_b.loss_rate == 0.0 and link.b_to_a.loss_rate == 0.0
+
+
+def test_rejects_overlapping_congest_windows(net):
+    sim, topo, a, b, link, received = net
+    original = link.a_to_b.bandwidth_bps
+    plan = FaultPlan(sim)
+    plan.congest(link, 1.0, duration=2.0, bandwidth_factor=0.1)
+    with pytest.raises(ValueError):
+        plan.congest(link, 2.5, duration=2.0, bandwidth_factor=0.5)
+    plan.congest(link, 3.0, duration=1.0, bandwidth_factor=0.5)  # touching: ok
+    sim.run(until=10.0)
+    assert link.a_to_b.bandwidth_bps == original
+
+
+def test_windowed_faults_of_different_kinds_may_overlap(net):
+    """A loss burst and a congestion window touch *different* link
+    attributes, so their windows may overlap freely (and restore both
+    attributes correctly)."""
+    sim, topo, a, b, link, received = net
+    original = link.a_to_b.bandwidth_bps
+    plan = FaultPlan(sim)
+    plan.loss_burst(link, 1.0, duration=2.0, loss_rate=1.0)
+    plan.congest(link, 1.5, duration=2.0, bandwidth_factor=0.1)  # overlaps: ok
+    sim.run(until=10.0)
+    assert link.a_to_b.loss_rate == 0.0
+    assert link.a_to_b.bandwidth_bps == original
+
+
+def test_windowed_faults_reject_empty_windows(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    with pytest.raises(ValueError):
+        plan.loss_burst(link, 1.0, duration=0.0, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        plan.congest(link, 1.0, duration=-1.0)
+    with pytest.raises(ValueError):
+        plan.loss_burst(link, -1.0, duration=1.0, loss_rate=1.0)
+
+
+class TestGrayFaultPlan:
+    def test_slow_host_applies_and_restores_multiplier(self, net):
+        sim, topo, a, b, link, received = net
+        plan = GrayFaultPlan(sim)
+        plan.slow_host_at(b, 1.0, duration=2.0, factor=10.0)
+        sim.schedule_at(1.5, lambda: received.append(b.cpu_multiplier))
+        sim.run(until=5.0)
+        assert received[0] == 10.0
+        assert b.cpu_multiplier == 1.0
+        assert [e.kind for e in plan.log] == ["slow-host", "slow-heal"]
+
+    def test_slow_host_rejects_overlap_and_bad_factor(self, net):
+        sim, topo, a, b, link, received = net
+        plan = GrayFaultPlan(sim)
+        plan.slow_host_at(b, 1.0, duration=2.0)
+        with pytest.raises(ValueError):
+            plan.slow_host_at(b, 2.0, duration=2.0)
+        plan.slow_host_at(a, 2.0, duration=2.0)  # other host: ok
+        with pytest.raises(ValueError):
+            plan.slow_host_at(b, 5.0, duration=1.0, factor=0.5)
+
+    def test_asymmetric_loss_applies_one_direction_only(self, net):
+        sim, topo, a, b, link, received = net
+        plan = GrayFaultPlan(sim)
+        plan.asymmetric_loss_at(link, "a_to_b", 1.0, duration=1.0, loss_rate=1.0)
+        received_a = []
+        a.kernel.register_protocol(
+            Protocol.ICMP, lambda p: received_a.append(sim.now)
+        )
+        sim.schedule(1.5, ping, a, b)   # lossy direction: dropped
+        sim.schedule(1.5, ping, b, a)   # clean direction: delivered
+        sim.schedule(2.5, ping, a, b)   # after the heal
+        sim.run()
+        assert len(received) == 1
+        assert len(received_a) == 1
+        assert link.a_to_b.loss_rate == 0.0
+
+    def test_asymmetric_loss_windows_per_direction(self, net):
+        sim, topo, a, b, link, received = net
+        plan = GrayFaultPlan(sim)
+        plan.asymmetric_loss_at(link, "a_to_b", 1.0, duration=2.0, loss_rate=0.5)
+        with pytest.raises(ValueError):
+            plan.asymmetric_loss_at(link, "a_to_b", 2.0, duration=2.0, loss_rate=0.5)
+        # The other direction is a different channel: ok.
+        plan.asymmetric_loss_at(link, "b_to_a", 2.0, duration=2.0, loss_rate=0.5)
+        with pytest.raises(ValueError):
+            plan.asymmetric_loss_at(link, "a_to_b", 5.0, duration=1.0, loss_rate=1.5)
+
+    def test_ack_taps_share_a_window_reservation(self, net):
+        """Only one tap can own a channel at a time: a corrupt window
+        and a reorder window on the same channel would silently shadow
+        each other, so they share the reservation."""
+        sim, topo, a, b, link, received = net
+        plan = GrayFaultPlan(sim)
+        plan.corrupt_ack_at(link, "a_to_b", 1.0, duration=2.0)
+        with pytest.raises(ValueError):
+            plan.reorder_ack_at(link, "a_to_b", 2.0, duration=2.0)
+        plan.reorder_ack_at(link, "b_to_a", 2.0, duration=2.0)  # other channel
+        plan.reorder_ack_at(link, "a_to_b", 3.0, duration=1.0)  # disjoint
+        sim.run(until=10.0)
+        assert link.a_to_b.tap is None and link.b_to_a.tap is None
+
+    def test_tap_rates_validated(self, net):
+        sim, topo, a, b, link, received = net
+        plan = GrayFaultPlan(sim)
+        with pytest.raises(ValueError):
+            plan.corrupt_ack_at(link, "a_to_b", 1.0, duration=1.0, rate=1.5)
+        with pytest.raises(ValueError):
+            plan.reorder_ack_at(link, "a_to_b", 1.0, duration=1.0, delay=0.0)
+
+    def test_taps_pass_non_ack_traffic_untouched(self, net):
+        sim, topo, a, b, link, received = net
+        plan = GrayFaultPlan(sim)
+        plan.corrupt_ack_at(link, "a_to_b", 1.0, duration=2.0, rate=1.0)
+        sim.schedule(1.5, ping, a, b)  # ICMP: not ack-channel traffic
+        sim.run()
+        assert len(received) == 1
+        assert plan.events_of("corrupt-ack") == []
 
 
 def test_partition_records_heal_events(net):

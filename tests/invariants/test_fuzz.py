@@ -83,6 +83,53 @@ class TestDdmin:
         assert {3, 5} <= set(result)  # still reproduces, just less minimal
 
 
+class TestGrayScenarios:
+    """Gray-failure mode: generation, validity, and clean replay."""
+
+    GRAY_OPS = {"lie_progress", "slow_host", "asym_loss", "corrupt_ack", "reorder_ack"}
+
+    def test_gray_specs_deterministic_and_roundtrip(self):
+        spec = generate_spec(45, gray=True)
+        assert spec == generate_spec(45, gray=True)
+        assert spec.gray
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec and again.gray
+
+    def test_gray_flag_does_not_perturb_classic_specs(self):
+        """The classic (gray=False) RNG stream is untouched — legacy
+        corpus entries stay byte-identical."""
+        for seed in range(20):
+            assert generate_spec(seed) == generate_spec(seed)
+
+    def test_gray_schedules_contain_gray_ops_and_are_valid(self):
+        seen_ops = set()
+        for seed in range(50):
+            spec = generate_spec(seed, gray=True)
+            assert spec.gray
+            assert spec.n_backups >= 1  # someone to lie on the chain
+            assert spec.mesh is None
+            gray_ops = [f for f in spec.faults if f["op"] in self.GRAY_OPS]
+            assert gray_ops, f"seed {seed}: no gray op in the schedule"
+            seen_ops.update(f["op"] for f in gray_ops)
+            for op in gray_ops:
+                assert op["at"] >= 2.0  # after registration
+                assert op["duration"] > 0
+        # The catalogue is actually exercised across the corpus.
+        assert {"lie_progress", "slow_host", "asym_loss"} <= seen_ops
+
+    def test_gray_scenarios_replay_clean_and_deterministic(self):
+        """Unmutated code survives its own adversary catalogue: the
+        defenses (validation, degradation, adaptive detection) hold on
+        a sample of generated gray scenarios, byte-identically."""
+        for seed in (0, 3, 7):
+            spec = generate_spec(seed, gray=True)
+            first = run_scenario(spec)
+            assert first.violated_monitors == [], (
+                f"seed {seed}: {first.violations[:2]}"
+            )
+            assert run_scenario(spec).fingerprint == first.fingerprint
+
+
 class TestMeshScenarios:
     """Small-mesh fuzzing: generation, replay determinism, shrink."""
 

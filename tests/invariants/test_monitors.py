@@ -91,6 +91,125 @@ class TestStreamIntegrityUnit:
         assert invset.violated_monitors() == ["stream-integrity"]
 
 
+class TestProgressTruthfulnessUnit:
+    """DESIGN.md §14: claims are cross-checked against the claiming
+    replica's *actual* deposits, independent of the ft-TCP gates."""
+
+    def _state(self, name="hs_0", successor="10.0.0.3", irs=0):
+        state = _fake_state(name)
+        state.conn.irs = irs
+        state.successor_ip = successor
+        return state
+
+    def test_truthful_claim_is_clean(self, invset):
+        primary = self._state()
+        backup = self._state("hs_1")
+        backup.port.host_server.ip = "10.0.0.3"
+        invset.progress_truthfulness.on_deposit(backup, 0, b"x" * 4096)
+        # irs=0: ack = 1 + deposited bytes claimed.
+        invset.progress_truthfulness.on_claim(primary, seq_next=1, ack=1 + 4096)
+        assert invset.violations == []
+
+    def test_inflated_claim_violates(self, invset):
+        primary = self._state()
+        backup = self._state("hs_1")
+        backup.port.host_server.ip = "10.0.0.3"
+        invset.progress_truthfulness.on_deposit(backup, 0, b"x" * 4096)
+        slack = invset.progress_truthfulness.SLACK
+        invset.progress_truthfulness.on_claim(
+            primary, seq_next=1, ack=1 + 4096 + slack + 1
+        )
+        assert invset.violated_monitors() == ["progress-truthfulness"]
+
+    def test_claim_within_slack_is_clean(self, invset):
+        primary = self._state()
+        backup = self._state("hs_1")
+        backup.port.host_server.ip = "10.0.0.3"
+        invset.progress_truthfulness.on_deposit(backup, 0, b"x" * 100)
+        slack = invset.progress_truthfulness.SLACK
+        invset.progress_truthfulness.on_claim(primary, seq_next=1, ack=1 + 100 + slack)
+        assert invset.violations == []
+
+    def test_no_claim_sentinel_ignored(self, invset):
+        primary = self._state()
+        invset.progress_truthfulness.on_claim(primary, seq_next=1, ack=0)
+        assert invset.violations == []
+
+
+def _liveness_port(blocked=True, silence=0.1, marks=(10, 10)):
+    """A fake FtPort with one connection for OutputLiveness units."""
+    from repro.tcp.tcb import TcpState
+
+    state = _fake_state()
+    state.conn.state = TcpState.ESTABLISHED
+    state.blocked_on_successor = lambda: blocked
+    state.successor_silence = lambda: silence
+    state.successor_ip = "10.0.0.3"
+    state.successor_sent_upto, state.successor_deposited_upto = marks
+    port = SimpleNamespace(
+        states={("10.0.0.9", 40000): state},
+        host_server=SimpleNamespace(name="hs_0"),
+    )
+    return port, state
+
+
+class TestOutputLivenessUnit:
+    def test_disabled_without_bound(self, invset):
+        port, _ = _liveness_port()
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 100.0
+        invset.output_liveness.on_liveness_tick(port)
+        assert invset.violations == []
+
+    def test_stall_on_live_successor_past_bound_violates(self, invset):
+        invset.output_liveness.bound = 2.0
+        port, _ = _liveness_port()
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 2.5
+        invset.output_liveness.on_liveness_tick(port)
+        assert invset.violated_monitors() == ["output-liveness"]
+
+    def test_silent_successor_is_exempt(self, invset):
+        """A crashed/partitioned successor is the fail-stop path's job,
+        not a liveness violation."""
+        invset.output_liveness.bound = 2.0
+        port, state = _liveness_port(silence=10.0)
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 2.5
+        invset.output_liveness.on_liveness_tick(port)
+        assert invset.violations == []
+
+    def test_watermark_progress_resets_the_clock(self, invset):
+        """A saturated-but-moving successor is congestion, not failure:
+        any watermark advance restarts the stall episode."""
+        invset.output_liveness.bound = 2.0
+        port, state = _liveness_port()
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 1.5
+        state.successor_deposited_upto += 1  # progress!
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 1.5
+        invset.output_liveness.on_liveness_tick(port)  # 1.5s since reset
+        assert invset.violations == []
+        invset.sim.now += 1.0  # now 2.5s since reset, no progress
+        invset.output_liveness.on_liveness_tick(port)
+        assert invset.violated_monitors() == ["output-liveness"]
+
+    def test_unblocking_clears_the_episode(self, invset):
+        invset.output_liveness.bound = 2.0
+        port, state = _liveness_port()
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 1.5
+        state.blocked_on_successor = lambda: False
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 1.5
+        state.blocked_on_successor = lambda: True
+        invset.output_liveness.on_liveness_tick(port)
+        invset.sim.now += 1.5
+        invset.output_liveness.on_liveness_tick(port)  # only 1.5s blocked
+        assert invset.violations == []
+
+
 class TestAttachedSystem:
     def test_clean_failover_run_has_no_violations_and_full_coverage(self):
         spec = ScenarioSpec(

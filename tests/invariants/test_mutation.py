@@ -12,9 +12,9 @@ pytestmark = [pytest.mark.fuzz, pytest.mark.slow]
 MAX_RUNS = 50
 
 
-def _first_violating(mutation, monitor):
+def _first_violating(mutation, monitor, gray=False):
     for i in range(MAX_RUNS):
-        spec = generate_spec(i)
+        spec = generate_spec(i, gray=gray)
         result = run_with_mutation(spec, mutation)
         if monitor in result.violated_monitors:
             return spec, result
@@ -52,4 +52,42 @@ def test_disabled_epoch_fence_breaks_single_primary():
     # The monitor saw concrete stale segments past the fence, not just a
     # bookkeeping anomaly.
     assert any("fence" in v.detail or "primaries" in v.detail for v in result.violations)
+    assert run_scenario(spec).violations == []
+
+
+def test_disabled_progress_check_breaks_truthfulness():
+    """ISSUE 7 acceptance gate: with watermark plausibility compiled
+    out, a gray scenario's lying replica must be caught by the
+    ProgressTruthfulness monitor within the first 50 seeds — and the
+    shrunk reproducer must replay deterministically."""
+    spec, _ = _first_violating(
+        "progress_check", "progress-truthfulness", gray=True
+    )
+
+    def reproduces(candidate):
+        return (
+            "progress-truthfulness"
+            in run_with_mutation(candidate, "progress_check").violated_monitors
+        )
+
+    small = shrink_spec(spec, reproduces, budget=60)
+    first = run_with_mutation(small, "progress_check")
+    second = run_with_mutation(small, "progress_check")
+    assert "progress-truthfulness" in first.violated_monitors
+    assert first.fingerprint == second.fingerprint
+    assert run_scenario(small).violations == []
+
+
+def test_disabled_ack_checksum_breaks_truthfulness():
+    """With checksum validation off, corrupted-in-flight watermarks
+    reach the progress logic and read as impossible claims."""
+    spec, _ = _first_violating("ack_checksum", "progress-truthfulness", gray=True)
+    assert run_scenario(spec).violations == []
+
+
+def test_disabled_excision_breaks_output_liveness():
+    """With both gray excision pathways (degradation reports and lie
+    evidence) compiled out, a wedged-but-talking successor stalls
+    primary output past the liveness bound."""
+    spec, _ = _first_violating("excision", "output-liveness", gray=True)
     assert run_scenario(spec).violations == []
