@@ -36,6 +36,7 @@ def main() -> int:
     print("  python -m repro experiments --jobs N   ... on N worker processes")
     print("  python -m repro fuzz --runs N --seed S fuzz fault schedules w/ monitors")
     print("  python -m repro fuzz --replay FILE     replay a saved reproducer")
+    print("  python -m repro fuzz --backend all     fuzz every replication backend")
     print("  python -m repro perf --scaling         scenario-throughput scaling sweep")
     print("  python -m repro mesh [--fast|--certify] datacenter-mesh scaling sweep (D5)")
     print("  python -m repro.experiments.figure4    just the paper's Figure 4")

@@ -37,6 +37,8 @@ from repro.tcp.seqnum import seq_add, seq_diff
 from repro.tcp.stack import Listener, deterministic_iss
 from repro.tcp.tcb import TcpConnection, TcpState
 
+from repro.replication import create_strategy
+
 from .ack_channel import AckChannelEndpoint, AckChannelMessage
 from .failure_detector import RetransmissionDetector
 from .replicated_port import DetectorParams, PortMode, ReplicatedPortTable
@@ -151,6 +153,10 @@ class FtConnectionState:
         self._pending_raw: list[AckChannelMessage] = []
         #: Client stream retained for live joins (recovery subsystem).
         self.catchup_log = CatchupLog(port.catchup_log_limit)
+        #: Strategy-private per-connection state (DESIGN.md §15) —
+        #: ``None`` for backends that keep everything in the effective
+        #: watermark fields above.
+        self.repl = port.strategy.connection_state(self)
 
     # -- recovery hooks -------------------------------------------------
 
@@ -185,32 +191,20 @@ class FtConnectionState:
         port.ack_endpoint.send(message, port.predecessor_ip)
 
     # -- gates installed into the TCB ---------------------------------
+    # These remain the TCB's (and the mutation harness's) entry points;
+    # the ceiling computation itself belongs to the replication
+    # strategy (DESIGN.md §15).
 
     def deposit_ceiling(self) -> Optional[int]:
-        self._drain_pending()
-        if not self.gated:
-            return None
-        return self.successor_deposited_upto
+        return self.port.strategy.deposit_ceiling(self)
 
     def transmit_ceiling(self) -> Optional[int]:
-        self._drain_pending()
-        if not self.gated:
-            return None
-        return self.successor_sent_upto
+        return self.port.strategy.transmit_ceiling(self)
 
     # -- ack-channel input ----------------------------------------------
 
     def apply(self, message: AckChannelMessage, sender: IPAddress) -> None:
-        if sender != self.successor_ip:
-            # New successor: its epoch history starts fresh.
-            self._successor_epoch = 0
-        self.successor_ip = sender
-        self.last_successor_msg = self.port.sim.now
-        if self.conn.irs is None:
-            if len(self._pending_raw) < 16:
-                self._pending_raw.append(message)
-            return
-        self._apply_wire(message.seq_next, message.ack, message.epoch)
+        self.port.strategy.on_report(self, message, sender)
 
     def _apply_wire(self, seq_next: int, ack: int, epoch: int = 0) -> None:
         conn = self.conn
@@ -306,6 +300,7 @@ class FtPort:
         detector_params: DetectorParams,
         ack_endpoint: AckChannelEndpoint,
         daemon: Optional["HostServerDaemon"] = None,
+        strategy: str = "chain",
     ):
         self.host_server = host_server
         self.sim = host_server.sim
@@ -315,6 +310,10 @@ class FtPort:
         self.detector_params = detector_params
         self.ack_endpoint = ack_endpoint
         self.daemon = daemon
+        #: Replication backend (DESIGN.md §15): how deposits/output are
+        #: gated, how replica progress is folded in, and whom a quiet
+        #: acknowledgement channel incriminates.
+        self.strategy = create_strategy(strategy, self)
         self.listener: Optional[Listener] = None
         self.predecessor_ip: Optional[IPAddress] = None
         #: Until the first chain update arrives a lone primary has no
@@ -398,6 +397,7 @@ class FtPort:
         self._liveness_timer = Timer(self.sim, self._liveness_check)
         self._liveness_period = max(0.25, detector_params.successor_quiet / 2)
         self._liveness_timer.start(self._liveness_period)
+        self.strategy.start()
 
     @property
     def is_primary(self) -> bool:
@@ -434,7 +434,9 @@ class FtPort:
         listener.on_accept = on_accept
         self.listener = listener
         if self.daemon is not None and register:
-            self.daemon.register(self.service_ip, self.port, self.mode.value)
+            self.daemon.register(
+                self.service_ip, self.port, self.mode.value, self.strategy.name
+            )
         return listener
 
     # -- connection wiring ---------------------------------------------------
@@ -475,6 +477,8 @@ class FtPort:
         if self.shut_down:
             return True  # a removed replica is silent
         if self.is_primary:
+            if self.strategy.suppress_primary_output(state, segment):
+                return True
             # The primary talks to the client normally, stamping its
             # view epoch so the redirector can fence stale output.
             segment.epoch = self.epoch
@@ -482,19 +486,11 @@ class FtPort:
             if invariants is not None:
                 invariants.on_client_segment(self, state, segment)
             return False
-        message = AckChannelMessage(
-            service_ip=self.service_ip,
-            service_port=self.port,
-            client_ip=state.conn.remote_ip,
-            client_port=state.conn.remote_port,
-            seq_next=seq_add(segment.seq, segment.seq_span),
-            ack=segment.ack if segment.has_ack else 0,
-            epoch=self.epoch,
-        )
-        if self.predecessor_ip is not None:
-            state.last_report_sent = self.sim.now
-            self.ack_endpoint.send(message, self.predecessor_ip)
-        return True
+        # A backup's packet never reaches the client; what its flow
+        # control fields turn into is the strategy's call (chain and
+        # broadcast report to the predecessor, checkpoint stays silent
+        # between checkpoint ticks).
+        return self.strategy.filter_backup_output(state, segment)
 
     # -- ack-channel input -----------------------------------------------------
 
@@ -555,7 +551,9 @@ class FtPort:
                 else self.epoch
             )
 
-    def _note_lie_evidence(self, state: FtConnectionState) -> None:
+    def _note_lie_evidence(
+        self, state: FtConnectionState, suspect: Optional[IPAddress] = None
+    ) -> None:
         """A successor's progress report failed the plausibility check.
         The report is already discarded; here we escalate: repeated
         lying evidence is reported to the redirector, whose congestion
@@ -571,7 +569,8 @@ class FtPort:
             or self.host_server.crashed
         ):
             return
-        suspect = state.successor_ip
+        if suspect is None:
+            suspect = state.successor_ip
         if suspect is None:
             return
         now = self.sim.now
@@ -691,20 +690,11 @@ class FtPort:
             reported = True
 
     def _quiet_successor(self) -> Optional[IPAddress]:
-        """Name the successor as a suspect if it has gone quiet on the
-        acknowledgement channel while connections are gated on it."""
-        if not self.has_successor:
-            return None
-        quiet = self.detector_params.successor_quiet
-        for state in self.states.values():
-            if not state.gated or state.successor_ip is None:
-                continue
-            if (
-                state.last_successor_msg is not None
-                and self.sim.now - state.last_successor_msg > quiet
-            ):
-                return state.successor_ip
-        return None
+        """Name a replica as a suspect if it has gone quiet on the
+        acknowledgement channel while connections are gated on it
+        (which replica that is — the chain successor, or any member of
+        a broadcast set — is the strategy's knowledge)."""
+        return self.strategy.quiet_successor()
 
     # -- live join (recovery subsystem, EXTENSION) ----------------------------
 
@@ -912,16 +902,11 @@ class FtPort:
             # listed connections — gate those (and only those) on it.
             self.end_catchup_feed(joiner_ip)
             self.has_successor = True
-            now = self.sim.now
             for raw_key in splice.conn_keys:
                 key = (as_address(raw_key[0]), raw_key[1])
                 state = self.states.get(key)
                 if state is not None:
-                    state.gated = True
-                    state.successor_ip = joiner_ip
-                    # Not silence — the splice just happened; give the
-                    # joiner a full quiet period before suspecting it.
-                    state.last_successor_msg = now
+                    self.strategy.splice_gate(state, joiner_ip)
 
     # -- reconfiguration -------------------------------------------------------------
 
@@ -939,6 +924,7 @@ class FtPort:
             return  # stale layout overtaken by a newer push
         self._chain_stamp = stamp
         self.chain_updates_applied += 1
+        old_predecessor = self.predecessor_ip
         self.predecessor_ip = update.predecessor_ip
         had_successor = self.has_successor
         self.has_successor = update.has_successor
@@ -961,11 +947,10 @@ class FtPort:
                     # (we stay a chain member, unlike a Demote).
                     self.mode = PortMode.BACKUP
                     self.demotions += 1
-        if had_successor and not self.has_successor:
-            # Our successor left the set: stop gating existing
-            # connections on it.
-            for state in self.states.values():
-                state.gated = False
+        # Membership consequences (who gates on whom now) belong to
+        # the strategy — the chain ungates when its one successor
+        # leaves, a star backend reconciles its member views.
+        self.strategy.on_chain_update(update, had_successor, old_predecessor)
         for state in list(self.states.values()):
             state.conn.gates_changed()
 
@@ -999,6 +984,7 @@ class FtPort:
             invariants = self.sim.invariants
             if invariants is not None:
                 invariants.on_promotion(self)
+        self.strategy.on_enter_primary()
         for state in list(self.states.values()):
             state.conn.kick()
 
@@ -1031,6 +1017,7 @@ class FtPort:
             return
         self.shut_down = True
         self._liveness_timer.stop()
+        self.strategy.on_shutdown()
         if self.listener is not None:
             # Stay bound but refuse (silently): a closed listener would
             # let the stack RST the service's clients, breaking the
@@ -1075,9 +1062,11 @@ class FtStack:
         port: int,
         mode: PortMode | str,
         detector: DetectorParams | None = None,
+        strategy: str = "chain",
     ) -> None:
-        """The ``setportopt(port, mode, detector-parameters)`` call."""
-        self.port_table.setportopt(port, mode, detector)
+        """The ``setportopt(port, mode, detector-parameters)`` call.
+        ``strategy`` selects the replication backend (DESIGN.md §15)."""
+        self.port_table.setportopt(port, mode, detector, strategy)
 
     def listen_replicated(
         self,
@@ -1108,6 +1097,7 @@ class FtStack:
             options.detector,
             self.ack_endpoint,
             self.daemon,
+            strategy=options.strategy,
         )
         ft_port.joining = joining
         ft_port.bind(on_accept, tcp_options, register=not joining)

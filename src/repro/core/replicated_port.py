@@ -62,6 +62,10 @@ class ReplicatedPortOptions:
     port: int
     mode: PortMode
     detector: DetectorParams
+    #: Replication backend name (DESIGN.md §15): ``"chain"`` (the
+    #: paper's daisy chain), ``"broadcast"``, ``"checkpoint"``, or any
+    #: strategy registered with :mod:`repro.replication`.
+    strategy: str = "chain"
 
 
 class ReplicatedPortTable:
@@ -75,12 +79,15 @@ class ReplicatedPortTable:
         port: int,
         mode: PortMode | str,
         detector: DetectorParams | None = None,
+        strategy: str = "chain",
     ) -> ReplicatedPortOptions:
         """Mark ``port`` as replicated.  Re-issuing changes the mode
         (used when a backup is promoted)."""
         if isinstance(mode, str):
             mode = PortMode(mode)
-        options = ReplicatedPortOptions(port, mode, detector or DetectorParams())
+        options = ReplicatedPortOptions(
+            port, mode, detector or DetectorParams(), strategy
+        )
         self._table[port] = options
         return options
 

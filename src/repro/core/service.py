@@ -99,12 +99,16 @@ class ReplicatedTcpService:
         detector: Optional[DetectorParams] = None,
         tcp_options: Optional[TcpOptions] = None,
         authority_ip=None,
+        strategy: str = "chain",
     ):
         self.service_ip = as_address(service_ip)
         self.port = port
         self.server_factory = server_factory
         self.detector = detector or DetectorParams()
         self.tcp_options = tcp_options
+        #: Replication backend every replica of this service runs
+        #: (DESIGN.md §15); all replicas must agree on it.
+        self.strategy = strategy
         #: Mesh deployments: the redirector owning this service's chain
         #: (``None`` = every node's default redirector, the flat case).
         self.authority_ip = as_address(authority_ip) if authority_ip is not None else None
@@ -125,7 +129,7 @@ class ReplicatedTcpService:
             node.daemon.set_service_authority(
                 self.service_ip, self.port, self.authority_ip
             )
-        node.stack.setportopt(self.port, mode, self.detector)
+        node.stack.setportopt(self.port, mode, self.detector, self.strategy)
         on_accept = self.server_factory(node.host_server)
         ft_port = node.stack.listen_replicated(
             self.service_ip, self.port, on_accept, self.tcp_options
@@ -145,7 +149,7 @@ class ReplicatedTcpService:
             node.daemon.set_service_authority(
                 self.service_ip, self.port, self.authority_ip
             )
-        node.stack.setportopt(self.port, PortMode.BACKUP, self.detector)
+        node.stack.setportopt(self.port, PortMode.BACKUP, self.detector, self.strategy)
         on_accept = self.server_factory(node.host_server)
         ft_port = node.stack.listen_replicated(
             self.service_ip, self.port, on_accept, self.tcp_options, joining=True

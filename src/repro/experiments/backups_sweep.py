@@ -20,13 +20,19 @@ from .testbeds import build_clean, build_primary_backup
 DEFAULT_BACKUP_COUNTS = (0, 1, 2, 4)
 
 
-def run_point(n_backups: Optional[int], size: int, nbuf: int = 1024, seed: int = 0) -> float:
+def run_point(
+    n_backups: Optional[int],
+    size: int,
+    nbuf: int = 1024,
+    seed: int = 0,
+    strategy: str = "chain",
+) -> float:
     """One sweep point (``n_backups=None`` is the clean baseline);
     the shard unit the parallel runner fans out."""
     if n_backups is None:
         run = build_clean(seed=seed)
         return run.run(buflen=size, nbuf=nbuf).throughput_kB_per_sec
-    run = build_primary_backup(seed=seed, n_backups=n_backups)
+    run = build_primary_backup(seed=seed, n_backups=n_backups, strategy=strategy)
     result = run.run(buflen=size, nbuf=nbuf)
     if not result.completed:
         raise RuntimeError(f"backups={n_backups} @ {size}B incomplete")

@@ -88,12 +88,14 @@ def run_crash_failover(
     seed: int = 0,
     total_bytes: int = 200_000,
     horizon: float = 120.0,
+    strategy: str = "chain",
 ) -> FailoverOutcome:
     """Primary crashes mid-transfer; measure detection and recovery."""
     system = build_ft_system(
         seed=seed,
         n_backups=1,
         detector=DetectorParams(threshold=threshold, cooldown=1.0),
+        strategy=strategy,
     )
     conn, got, events = _streaming_client(system, total_bytes)
     plan = FaultPlan(system.sim)

@@ -118,31 +118,37 @@ def _run_workload(system, traffic_until: float, horizon: float):
     return sent, received, events
 
 
-def _baseline_received(seed: int, traffic_until: float, horizon: float) -> bytes:
+def _baseline_received(
+    seed: int, traffic_until: float, horizon: float, strategy: str = "chain"
+) -> bytes:
     """The same workload with no fault injected."""
     system = build_ft_system(
         seed=seed,
         n_backups=1,
         detector=DetectorParams(threshold=3, cooldown=1.0),
         factory=_echo_factory,
+        strategy=strategy,
     )
     _sent, received, _events = _run_workload(system, traffic_until, horizon)
     system.run_until(horizon)
     return bytes(received)
 
 
-def run_partition(variant: str = "symmetric", seed: int = 0) -> PartitionRunResult:
+def run_partition(
+    variant: str = "symmetric", seed: int = 0, strategy: str = "chain"
+) -> PartitionRunResult:
     if variant not in ("symmetric", "oneway"):
         raise ValueError(f"unknown variant {variant!r}")
     horizon = 90.0
     traffic_until = 60.0
-    baseline = _baseline_received(seed, traffic_until, horizon)
+    baseline = _baseline_received(seed, traffic_until, horizon, strategy=strategy)
 
     system = build_ft_system(
         seed=seed,
         n_backups=1,
         detector=DetectorParams(threshold=3, cooldown=1.0),
         factory=_echo_factory,
+        strategy=strategy,
     )
     manager = RecoveryManager(
         system.service,

@@ -53,6 +53,7 @@ from . import (
     partition,
     receive_path,
     recovery,
+    replication_backends,
     scaling_benefit,
 )
 
@@ -70,6 +71,7 @@ EXPERIMENTS = [
     ("D4 partition / split-brain fencing", partition),
     ("D5 mesh scaling (datacenter mesh)", mesh_scaling),
     ("D6 gray failures (adversary catalogue)", gray_failures),
+    ("D7 replication backends", replication_backends),
 ]
 
 #: Relative wall-clock hints for whole-module tasks (measured serial

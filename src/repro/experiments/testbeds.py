@@ -158,6 +158,7 @@ def build_ft_system(
     tcp_options: Optional[TcpOptions] = None,
     ordered_channel: bool = False,
     n_spares: int = 0,
+    strategy: str = "chain",
 ) -> FtSystem:
     """General FT deployment builder (era profiles, Figure-4 topology).
 
@@ -195,6 +196,7 @@ def build_ft_system(
         factory,
         detector=detector or DetectorParams(),
         tcp_options=tcp_options or TTCP_TCP_OPTIONS,
+        strategy=strategy,
     )
     service.add_primary(nodes[0])
     for node in nodes[1 : 1 + n_backups]:
@@ -217,9 +219,16 @@ def build_ft_system(
     )
 
 
-def _build_ft(seed: int, n_backups: int, detector: Optional[DetectorParams] = None):
+def _build_ft(
+    seed: int,
+    n_backups: int,
+    detector: Optional[DetectorParams] = None,
+    strategy: str = "chain",
+):
     """Shared construction for the redirected configurations."""
-    system = build_ft_system(seed=seed, n_backups=n_backups, detector=detector)
+    system = build_ft_system(
+        seed=seed, n_backups=n_backups, detector=detector, strategy=strategy
+    )
     run = TtcpRun(system.sim, system.client_node, system.service_ip)
     return run, system.service, system.servers, system.redirector, system.topo
 
@@ -231,9 +240,13 @@ def build_primary_only(seed: int = 0) -> TtcpRun:
     return run
 
 
-def build_primary_backup(seed: int = 0, n_backups: int = 1) -> TtcpRun:
+def build_primary_backup(
+    seed: int = 0, n_backups: int = 1, strategy: str = "chain"
+) -> TtcpRun:
     """The full HydraNet-FT protocol with primary and backup(s)."""
-    run, _service, _servers, _redirector, _topo = _build_ft(seed, n_backups=n_backups)
+    run, _service, _servers, _redirector, _topo = _build_ft(
+        seed, n_backups=n_backups, strategy=strategy
+    )
     return run
 
 

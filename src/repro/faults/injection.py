@@ -135,8 +135,38 @@ class FaultPlan:
 
     # -- link faults --------------------------------------------------------
 
+    def _reserve_partition(
+        self, link: Link, directions: tuple[str, ...], start: float, end: float
+    ) -> None:
+        """Reserve per-direction partition windows, atomically: either
+        every direction's window is valid and recorded, or nothing is.
+        Overlapping partitions on the same direction would compose
+        silently — the earlier window's heal re-raises the channel in
+        the middle of the later window — exactly the save-and-restore
+        hazard ``_reserve_attr_window`` exists for."""
+        self._check_time(start, "partition start time")
+        if end <= start:
+            raise ValueError(
+                f"partition window [{start}, {end}) for {link.name} is empty"
+            )
+        keys = [("partition", f"{link.name}:{d}") for d in directions]
+        for key in keys:
+            for s, e in self._attr_windows.get(key, []):
+                if start < e and s < end:
+                    raise ValueError(
+                        f"partition window [{start}, {end}) for {key[1]} "
+                        f"overlaps an existing window [{s}, {e})"
+                    )
+        for key in keys:
+            self._attr_windows.setdefault(key, []).append([start, end])
+
     def partition_at(self, link: Link, at: float, duration: Optional[float] = None) -> None:
-        """Take a link down at ``at``; heal after ``duration`` if given."""
+        """Take a link down at ``at``; heal after ``duration`` if given.
+
+        Overlapping partition windows on the same link (either flavour,
+        full or one-way, sharing a direction) raise ``ValueError``."""
+        end = float("inf") if duration is None else at + duration
+        self._reserve_partition(link, ("a_to_b", "b_to_a"), at, end)
 
         def down() -> None:
             link.set_up(False)
@@ -172,6 +202,8 @@ class FaultPlan:
             raise ValueError(
                 f"direction must be 'a_to_b' or 'b_to_a', got {direction!r}"
             )
+        end = float("inf") if duration is None else at + duration
+        self._reserve_partition(link, (direction,), at, end)
 
         def down() -> None:
             channel.up = False

@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 from repro.netsim.addressing import IPAddress, as_address
 from repro.netsim.simulator import Simulator
+from repro.replication import strategy_layout
 
 from .host_server import HostServer
 from repro.metrics.fencing import FencingMetrics
@@ -173,6 +174,10 @@ class RedirectorDaemon:
         #: Monotonic sequence for chain-update pushes (the reliable mgmt
         #: layer is unordered; replicas discard stale layouts by it).
         self._chain_seq: dict[ServiceKey, int] = {}
+        #: Replication backend per service (DESIGN.md §15), learned
+        #: from Register — decides the layout pushed to replicas
+        #: (linear daisy chain vs star around the primary).
+        self._strategy: dict[ServiceKey, str] = {}
         #: Demote rate limiting per (service key, target).
         self._last_demote: dict[tuple[ServiceKey, IPAddress], float] = {}
         self.demote_min_interval = 1.0
@@ -241,6 +246,7 @@ class RedirectorDaemon:
             self.redirector.install_ft_backup(msg.service_ip, msg.port, msg.server_ip)
         else:
             return
+        self._strategy[key] = msg.strategy
         self._push_chain_updates(ServiceKey(as_address(msg.service_ip), msg.port))
 
     def _handle_unregister(self, msg: Unregister) -> None:
@@ -565,15 +571,28 @@ class RedirectorDaemon:
         if entry is None or not entry.fault_tolerant:
             return
         replicas = entry.replicas
+        star = strategy_layout(self._strategy.get(key, "chain")) == "star"
+        members = tuple(replicas)
         for i, replica in enumerate(replicas):
+            if star:
+                # Star layout (broadcast/checkpoint backends): every
+                # backup hangs directly off the primary — it reports
+                # there and gates on nobody; only the primary gates
+                # (on the whole member set).
+                predecessor = replicas[0] if i > 0 else None
+                has_successor = i == 0 and len(replicas) > 1
+            else:
+                predecessor = replicas[i - 1] if i > 0 else None
+                has_successor = i < len(replicas) - 1
             update = ChainUpdate(
                 service_ip=key.ip,
                 port=key.port,
-                predecessor_ip=replicas[i - 1] if i > 0 else None,
-                has_successor=i < len(replicas) - 1,
+                predecessor_ip=predecessor,
+                has_successor=has_successor,
                 is_primary=i == 0,
                 epoch=entry.epoch,
                 seq=seq,
+                members=members,
             )
             self.channel.send(update, replica)
 
@@ -657,7 +676,12 @@ class RedirectorDaemon:
             return False
         if joiner_ip in entry.replicas:
             return False
-        predecessor = entry.replicas[-1]
+        if strategy_layout(self._strategy.get(key, "chain")) == "star":
+            # Star layout: the joiner reports to (and is gated by) the
+            # primary, not the old tail.
+            predecessor = entry.replicas[0]
+        else:
+            predecessor = entry.replicas[-1]
         # A recovered server re-joining must not be killed by a stale
         # Shutdown still being retried toward it.
         stale = self._pending_shutdowns.pop((key, joiner_ip), None)
@@ -731,9 +755,11 @@ class HostServerDaemon:
             (as_address(service_ip), port), self.redirector_ip
         )
 
-    def register(self, service_ip, port: int, mode: str) -> None:
+    def register(
+        self, service_ip, port: int, mode: str, strategy: str = "chain"
+    ) -> None:
         self.channel.send(
-            Register(as_address(service_ip), port, self.ip, mode),
+            Register(as_address(service_ip), port, self.ip, mode, strategy),
             self.authority_for(service_ip, port),
         )
 

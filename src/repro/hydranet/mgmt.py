@@ -79,6 +79,9 @@ class Register(MgmtMessage):
     port: int
     server_ip: IPAddress
     mode: str  # "scaling" | "primary" | "backup"
+    #: Replication backend of the registering replica (DESIGN.md §15);
+    #: decides the layout the redirector pushes (linear chain vs star).
+    strategy: str = "chain"
 
 
 @dataclass
@@ -104,6 +107,10 @@ class ChainUpdate(MgmtMessage):
     #: Monotonic per-service push counter: orders updates *within* an
     #: epoch (e.g. a backup joining does not bump the epoch).
     seq: int = 0
+    #: Full replica list of this layout, primary first.  Star-layout
+    #: backends (broadcast/checkpoint) gate on membership rather than
+    #: on one successor; the chain backend ignores it.
+    members: tuple = ()
 
 
 @dataclass

@@ -45,6 +45,7 @@ from repro.experiments.testbeds import (
 from repro.faults import FaultPlan, GrayFaultPlan
 from repro.hydranet import HostServer, Redirector, RedirectorDaemon
 from repro.netsim import Simulator, Topology
+from repro.replication import available_strategies
 from repro.sockets import node_for
 from repro.topo import MeshScenario, MeshWorkload
 from repro.topo import generate as generate_topology
@@ -90,6 +91,9 @@ class ScenarioSpec:
     #: monitor is armed.  ``False`` (the default) keeps old corpus
     #: files replayable byte-identically.
     gray: bool = False
+    #: Replication backend the replicas run (DESIGN.md §15).  The
+    #: default keeps old corpus files replayable byte-identically.
+    backend: str = "chain"
     version: int = SPEC_VERSION
 
     def to_json(self) -> dict:
@@ -112,6 +116,41 @@ class ScenarioResult:
 
 
 # -- scenario generation ----------------------------------------------------
+
+
+def _drop_overlapping_partitions(faults: list) -> list:
+    """Drop partition ops whose window overlaps an earlier partition
+    window on the same link direction (generation order):
+    :class:`~repro.faults.FaultPlan` rejects such schedules, because
+    the earlier window's heal would silently re-raise the channel in
+    the middle of the later window.  Runs *after* every RNG draw, so
+    pre-existing seeds keep their streams — only the (previously
+    silently-miscomposed) overlapping op disappears."""
+    taken: dict[str, list[tuple[float, float]]] = {}
+    kept = []
+    for op in faults:
+        kind = op.get("op")
+        if kind in ("partition", "partition_oneway"):
+            start = op["at"]
+            end = (
+                float("inf")
+                if op.get("duration") is None
+                else start + op["duration"]
+            )
+            directions = (
+                (op["direction"],) if kind == "partition_oneway" else ("a_to_b", "b_to_a")
+            )
+            keys = [f"{op['link']}:{d}" for d in directions]
+            if any(
+                start < e and s < end
+                for key in keys
+                for s, e in taken.get(key, [])
+            ):
+                continue
+            for key in keys:
+                taken.setdefault(key, []).append((start, end))
+        kept.append(op)
+    return kept
 
 
 def _gen_faults(rng: random.Random, n_backups: int, duration: float) -> list:
@@ -208,6 +247,7 @@ def _gen_faults(rng: random.Random, n_backups: int, duration: float) -> list:
                     "count": rng.randint(2, 3),
                 }
             )
+    faults = _drop_overlapping_partitions(faults)
     faults.sort(key=lambda f: f.get("at", f.get("start", 0.0)))
     return faults
 
@@ -359,6 +399,7 @@ def _gen_mesh_faults(rng: random.Random, spokes: int, duration: float) -> list:
                     "loss_rate": round(rng.uniform(0.3, 0.9), 3),
                 }
             )
+    faults = _drop_overlapping_partitions(faults)
     faults.sort(key=lambda f: f.get("at", f.get("start", 0.0)))
     return faults
 
@@ -395,22 +436,30 @@ def _generate_mesh_spec(scenario_seed: int, rng: random.Random) -> ScenarioSpec:
     )
 
 
-def generate_spec(scenario_seed: int, gray: bool = False) -> ScenarioSpec:
+def generate_spec(
+    scenario_seed: int, gray: bool = False, backend: str = "chain"
+) -> ScenarioSpec:
     """Derive one scenario deterministically from ``scenario_seed``.
     No environment input: the same seed is the same scenario on every
     machine and under every ``REPRO_SEED_OFFSET``.
 
     ``gray=True`` layers gray-failure ops on top of the classic
     schedule (and forces a non-mesh topology with at least one backup,
-    so there is a chain to lie on).  The classic (``gray=False``) RNG
-    stream is untouched either way — old seeds keep their scenarios.
+    so there is a chain to lie on).  ``backend`` picks the replication
+    strategy the replicas run; mesh scenarios are chain-only, so other
+    backends fall through to the classic testbed on mesh seeds.  The
+    classic RNG stream is untouched either way — every draw below
+    happens identically for every (gray, backend) combination, so old
+    seeds keep their scenarios.
     """
     rng = random.Random(scenario_seed * 2654435761 % (2**31))
     mesh_roll = rng.random()
-    if not gray and mesh_roll < 0.20:
+    if not gray and mesh_roll < 0.20 and backend == "chain":
         return _generate_mesh_spec(scenario_seed, rng)
     n_backups = rng.choices([0, 1, 2, 3], weights=[5, 45, 30, 20])[0]
-    if gray and n_backups == 0:
+    if (gray or backend != "chain") and n_backups == 0:
+        # Star backends and gray schedules both need a backup to gate
+        # on; backend/gray are not drawn, so the stream is unchanged.
         n_backups = 1
     if rng.random() < 0.7:
         workload = {
@@ -435,6 +484,7 @@ def generate_spec(scenario_seed: int, gray: bool = False) -> ScenarioSpec:
         duration=duration,
         faults=_gen_faults(rng, n_backups, duration),
         gray=gray,
+        backend=backend,
     )
     if gray:
         # Drawn *after* every classic draw so the classic stream — and
@@ -509,6 +559,7 @@ def build_fuzz_system(spec: ScenarioSpec) -> FtSystem:
         factory,
         detector=detector,
         tcp_options=TTCP_TCP_OPTIONS,
+        strategy=spec.backend,
     )
     service.add_primary(nodes[0])
     for node in nodes[1 : 1 + spec.n_backups]:
@@ -867,7 +918,7 @@ def _mutate_excision():
     degradation = FtPort._degradation_check
     lie_evidence = FtPort._note_lie_evidence
     FtPort._degradation_check = lambda self, now, quiet: None
-    FtPort._note_lie_evidence = lambda self, state: None
+    FtPort._note_lie_evidence = lambda self, state, suspect=None: None
     try:
         yield
     finally:
@@ -936,11 +987,14 @@ class _ResultSummary:
 
 
 def scenario_task(
-    scenario_seed: int, mutation: Optional[str] = None, gray: bool = False
+    scenario_seed: int,
+    mutation: Optional[str] = None,
+    gray: bool = False,
+    backend: str = "chain",
 ) -> dict:
     """Pool task: derive the scenario purely from its integer seed (in
     the worker) and run it; returns a JSON-able summary."""
-    spec = generate_spec(scenario_seed, gray=gray)
+    spec = generate_spec(scenario_seed, gray=gray, backend=backend)
     return _ResultSummary.from_result(run_with_mutation(spec, mutation)).to_dict()
 
 
@@ -1008,6 +1062,13 @@ def main(argv=None) -> int:
         "replicas) onto every generated scenario",
     )
     parser.add_argument(
+        "--backend",
+        choices=sorted(available_strategies()) + ["all"],
+        default="chain",
+        help="replication backend the replicas run (DESIGN.md §15); "
+        "'all' fuzzes every registered backend on every seed",
+    )
+    parser.add_argument(
         "--out", type=Path, default=CORPUS_DIR, help="reproducer output directory"
     )
     parser.add_argument(
@@ -1068,29 +1129,46 @@ def main(argv=None) -> int:
     cache = ResultCache(root=args.cache_dir) if args.cache else None
 
     # Phase 1 — the seed batch, fanned out over the pool.  Each task
-    # carries only its integer seed; the worker regenerates the spec
-    # from it (see ``scenario_task``).  The specs generated here in the
-    # parent are used purely for the progress line and the cost hint.
+    # carries only its integer seed (plus the backend name); the worker
+    # regenerates the spec from them (see ``scenario_task``).  The specs
+    # generated here in the parent are used purely for the progress line
+    # and the cost hint.  Chain tasks keep their historic ``seed{n}``
+    # keys so cached results survive the multi-backend CLI.
+    backends = (
+        sorted(available_strategies()) if args.backend == "all" else [args.backend]
+    )
+
+    def task_key(seed: int, backend: str) -> str:
+        return f"seed{seed}" if backend == "chain" else f"seed{seed}.{backend}"
+
     seeds = [args.seed + i for i in range(args.runs)]
-    parent_specs = {seed: generate_spec(seed, gray=args.gray) for seed in seeds}
+    parent_specs = {}
     tasks = []
-    for seed in seeds:
-        spec = parent_specs[seed]
-        task = Task(
-            key=f"seed{seed}",
-            fn=scenario_task,
-            kwargs={"scenario_seed": seed, "mutation": args.mutate, "gray": args.gray},
-            # Longer simulations with longer chains chew more events;
-            # mesh scenarios simulate several racks at once.
-            cost=spec.duration * (3.0 if spec.mesh else 1.0 + spec.n_backups),
-            timeout=args.task_timeout,
-        )
-        task.fingerprint = task_fingerprint(task)
-        tasks.append(task)
+    for backend in backends:
+        for seed in seeds:
+            spec = generate_spec(seed, gray=args.gray, backend=backend)
+            parent_specs[task_key(seed, backend)] = spec
+            task = Task(
+                key=task_key(seed, backend),
+                fn=scenario_task,
+                kwargs={
+                    "scenario_seed": seed,
+                    "mutation": args.mutate,
+                    "gray": args.gray,
+                    "backend": backend,
+                },
+                # Longer simulations with longer chains chew more events;
+                # mesh scenarios simulate several racks at once.
+                cost=spec.duration * (3.0 if spec.mesh else 1.0 + spec.n_backups),
+                timeout=args.task_timeout,
+            )
+            task.fingerprint = task_fingerprint(task)
+            tasks.append(task)
 
     def show(outcome):
-        seed = int(outcome.key.removeprefix("seed"))
-        spec = parent_specs[seed]
+        seed_part, _, backend_part = outcome.key.removeprefix("seed").partition(".")
+        seed = int(seed_part)
+        spec = parent_specs[outcome.key]
         if outcome.ok:
             summary = _ResultSummary.from_dict(outcome.value)
             tag = ",".join(summary.violated_monitors) or "ok"
@@ -1102,8 +1180,9 @@ def main(argv=None) -> int:
             if spec.mesh
             else f"backups={spec.n_backups}"
         )
+        backend_tag = f" [{backend_part}]" if backend_part else ""
         print(
-            f"run {seed - args.seed:3d} seed={seed} {shape} "
+            f"run {seed - args.seed:3d} seed={seed}{backend_tag} {shape} "
             f"faults={len(spec.faults)} -> {tag}"
         )
 
@@ -1135,41 +1214,49 @@ def main(argv=None) -> int:
                 return None
             return _ResultSummary.from_dict(outcome.value)
 
-        for seed in seeds:
-            outcome = outcomes[f"seed{seed}"]
-            if not outcome.ok:
-                broken.append(f"seed {seed}: {outcome.status} ({outcome.error})")
-                continue
-            summary = _ResultSummary.from_dict(outcome.value)
-            if not summary.violated_monitors:
-                continue
-            found += 1
-            spec = parent_specs[seed]
-            target = set(summary.violated_monitors)
+        for backend in backends:
+            for seed in seeds:
+                key = task_key(seed, backend)
+                outcome = outcomes[key]
+                if not outcome.ok:
+                    broken.append(f"{key}: {outcome.status} ({outcome.error})")
+                    continue
+                summary = _ResultSummary.from_dict(outcome.value)
+                if not summary.violated_monitors:
+                    continue
+                found += 1
+                spec = parent_specs[key]
+                target = set(summary.violated_monitors)
 
-            def reproduces(candidate: ScenarioSpec) -> bool:
-                result = pooled(candidate, args.mutate)
-                return result is not None and bool(
-                    target & set(result.violated_monitors)
+                def reproduces(candidate: ScenarioSpec) -> bool:
+                    result = pooled(candidate, args.mutate)
+                    return result is not None and bool(
+                        target & set(result.violated_monitors)
+                    )
+
+                small = shrink_spec(spec, reproduces, budget=args.shrink_budget)
+                small_result = pooled(small, args.mutate)
+                clean_result = pooled(small, None)
+                if small_result is None or clean_result is None:
+                    continue
+                prefix = args.mutate or "found"
+                if backend == "chain":
+                    name = f"{prefix}-seed{seed}.json"
+                else:
+                    name = f"{prefix}-{backend}-seed{seed}.json"
+                save_reproducer(
+                    args.out / name, small, args.mutate, small_result, clean_result
                 )
+                print(
+                    f"  shrunk to {len(small.faults)} fault(s), "
+                    f"{small.workload} — saved {name}"
+                )
+                if clean_result.violated_monitors:
+                    print(
+                        "  NOTE: reproducer violates on UNMUTATED code — real bug!"
+                    )
 
-            small = shrink_spec(spec, reproduces, budget=args.shrink_budget)
-            small_result = pooled(small, args.mutate)
-            clean_result = pooled(small, None)
-            if small_result is None or clean_result is None:
-                continue
-            name = f"{args.mutate or 'found'}-seed{seed}.json"
-            save_reproducer(
-                args.out / name, small, args.mutate, small_result, clean_result
-            )
-            print(
-                f"  shrunk to {len(small.faults)} fault(s), "
-                f"{small.workload} — saved {name}"
-            )
-            if clean_result.violated_monitors:
-                print("  NOTE: reproducer violates on UNMUTATED code — real bug!")
-
-    print(f"{args.runs} runs, {found} violating")
+    print(f"{len(tasks)} runs, {found} violating")
     if broken:
         print(f"{len(broken)} scenario task(s) failed to execute:")
         for line in broken:

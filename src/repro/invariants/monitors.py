@@ -283,16 +283,28 @@ class ProgressTruthfulnessMonitor(_Monitor):
         if end > self.deposited_end.get(key, 0):
             self.deposited_end[key] = end
 
-    def on_claim(self, state: "FtConnectionState", seq_next: int, ack: int) -> None:
+    def on_claim(
+        self,
+        state: "FtConnectionState",
+        seq_next: int,
+        ack: int,
+        claimant=None,
+    ) -> None:
         conn = state.conn
-        if conn.irs is None or state.successor_ip is None or ack == 0:
+        if claimant is None:
+            # Chain semantics: the report can only come from the one
+            # successor.  Multi-member backends pass the actual sender
+            # so a fast member's claim is never booked against the
+            # straggler currently named in ``successor_ip``.
+            claimant = state.successor_ip
+        if conn.irs is None or claimant is None or ack == 0:
             return  # ack=0 is the no-claim sentinel of ack-less segments
         claimed = seq_diff(ack, seq_add(conn.irs, 1))
-        key = (_client_key(state), str(state.successor_ip))
+        key = (_client_key(state), str(claimant))
         actual = self.deposited_end.get(key, 0)
         if claimed > actual + self.SLACK:
             self.report(
-                f"replica {state.successor_ip} claims {claimed} bytes "
+                f"replica {claimant} claims {claimed} bytes "
                 f"deposited but has only deposited {actual}",
                 _client_key(state),
             )
@@ -434,18 +446,21 @@ class InvariantSet:
         self.progress_truthfulness.on_deposit(state, start, data)
 
     def on_successor_report(
-        self, state: "FtConnectionState", seq_next: int, ack: int
+        self, state: "FtConnectionState", seq_next: int, ack: int, claimant=None
     ) -> None:
         """Raw flow-control fields from the acknowledgement channel —
         converted to stream offsets here, independently of the ft-TCP
         bookkeeping the gates read.  Fired for *accepted* reports only
         (the ft-TCP layer drops checksum/epoch/plausibility rejects
-        before they reach any gate — or this hook)."""
+        before they reach any gate — or this hook).  ``claimant`` is
+        the reporting replica when the backend tracks several per
+        connection; ``None`` means chain semantics (the single
+        successor named in the state)."""
         self.stats["successor_reports"] += 1
         conn = state.conn
         if conn.irs is None:
             return
-        self.progress_truthfulness.on_claim(state, seq_next, ack)
+        self.progress_truthfulness.on_claim(state, seq_next, ack, claimant)
         view = self.successor_view(state)
         view.reports += 1
         sent = seq_diff(seq_next, seq_add(conn.iss, 1))

@@ -157,7 +157,16 @@ class RecoveryManager:
         if entry is None or not entry.replicas:
             self.spares.add(node)
             return None
-        donor_ip = entry.replicas[-1]
+        from repro.replication import strategy_layout
+
+        if strategy_layout(self.service.strategy) == "star":
+            # Star backends (broadcast/checkpoint): the primary is the
+            # one replica guaranteed to hold the complete client
+            # stream, and it is also the joiner's future report target
+            # — donate from there.
+            donor_ip = entry.replicas[0]
+        else:
+            donor_ip = entry.replicas[-1]
         handle = self.service.provision_joiner(node)
         join = _JoinInProgress(
             node=node, handle=handle, donor_ip=donor_ip, started_at=self.sim.now

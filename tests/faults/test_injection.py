@@ -263,6 +263,66 @@ def test_windowed_faults_reject_empty_windows(net):
         plan.congest(link, 1.0, duration=-1.0)
     with pytest.raises(ValueError):
         plan.loss_burst(link, -1.0, duration=1.0, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        plan.partition_at(link, 1.0, duration=0.0)
+    with pytest.raises(ValueError):
+        plan.partition_oneway_at(link, "a_to_b", 1.0, duration=-2.0)
+    with pytest.raises(ValueError):
+        plan.partition_at(link, -1.0, duration=1.0)
+
+
+def test_rejects_overlapping_partition_windows(net):
+    """The silent-compose case: the first partition's heal fires in the
+    middle of the second window and re-raises the link while it should
+    still be down.  The plan must reject the schedule instead."""
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.partition_at(link, 1.0, duration=3.0)
+    with pytest.raises(ValueError):
+        plan.partition_at(link, 2.0, duration=5.0)
+    # Permanent partitions hold the link forever: anything later overlaps.
+    plan2 = FaultPlan(Simulator())
+    plan2.partition_at(link, 1.0)
+    with pytest.raises(ValueError):
+        plan2.partition_at(link, 100.0, duration=1.0)
+
+
+def test_rejects_partition_overlapping_oneway_same_direction(net):
+    """A full partition owns both directions, so a one-way window in
+    either direction inside it is the same silent-compose hazard."""
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.partition_at(link, 1.0, duration=3.0)
+    with pytest.raises(ValueError):
+        plan.partition_oneway_at(link, "a_to_b", 2.0, duration=1.0)
+    with pytest.raises(ValueError):
+        plan.partition_oneway_at(link, "b_to_a", 3.5, duration=1.0)
+    # ... and the failed reservation must not leak: the same window is
+    # fine once it no longer overlaps.
+    plan.partition_oneway_at(link, "a_to_b", 4.5, duration=1.0)
+
+
+def test_oneway_partitions_of_opposite_directions_may_overlap(net):
+    """Two one-way windows on *different* directions touch different
+    channels — no compose hazard, so they may overlap (this is how an
+    asymmetric partition is layered into a symmetric one)."""
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.partition_oneway_at(link, "a_to_b", 1.0, duration=3.0)
+    plan.partition_oneway_at(link, "b_to_a", 2.0, duration=3.0)
+    sim.run(until=10.0)
+    assert link.a_to_b.up and link.b_to_a.up
+
+
+def test_disjoint_partition_windows_and_flap_still_work(net):
+    sim, topo, a, b, link, received = net
+    plan = FaultPlan(sim)
+    plan.flap(link, 1.0, period=2.0, duty_down=0.5, cycles=3)
+    plan.partition_at(link, 10.0, duration=1.0)
+    sim.schedule(12.0, ping, a, b)
+    sim.run()
+    assert len(received) == 1
+    assert link.up
 
 
 class TestGrayFaultPlan:

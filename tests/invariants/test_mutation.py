@@ -6,21 +6,27 @@ import pytest
 
 from repro.invariants.fuzz import generate_spec, run_scenario, run_with_mutation
 from repro.invariants.shrink import shrink_spec
+from repro.replication import available_strategies
 
 pytestmark = [pytest.mark.fuzz, pytest.mark.slow]
 
 MAX_RUNS = 50
 
+#: Backends beyond the chain that every gate mutation must also be
+#: caught on (the delegation points the mutations patch are shared, so
+#: a backend that stopped consulting them would silently lose coverage).
+EXTRA_BACKENDS = tuple(b for b in available_strategies() if b != "chain")
 
-def _first_violating(mutation, monitor, gray=False):
+
+def _first_violating(mutation, monitor, gray=False, backend="chain"):
     for i in range(MAX_RUNS):
-        spec = generate_spec(i, gray=gray)
+        spec = generate_spec(i, gray=gray, backend=backend)
         result = run_with_mutation(spec, mutation)
         if monitor in result.violated_monitors:
             return spec, result
     pytest.fail(
         f"mutation {mutation!r} not detected as {monitor!r} "
-        f"within {MAX_RUNS} seeded scenarios"
+        f"within {MAX_RUNS} seeded scenarios (backend {backend!r})"
     )
 
 
@@ -90,4 +96,31 @@ def test_disabled_excision_breaks_output_liveness():
     evidence) compiled out, a wedged-but-talking successor stalls
     primary output past the liveness bound."""
     spec, _ = _first_violating("excision", "output-liveness", gray=True)
+    assert run_scenario(spec).violations == []
+
+
+@pytest.mark.parametrize("backend", EXTRA_BACKENDS)
+def test_disabled_deposit_gate_caught_per_backend(backend):
+    """Every backend's deposit gate flows through the same patched
+    delegation point; disabling it must break atomicity on that
+    backend's own scenarios too."""
+    spec, _ = _first_violating("deposit_gate", "atomicity", backend=backend)
+    assert spec.seed < 5
+    assert run_scenario(spec).violations == []
+
+
+@pytest.mark.parametrize("backend", EXTRA_BACKENDS)
+def test_disabled_output_gate_caught_per_backend(backend):
+    spec, _ = _first_violating("output_gate", "output-ordering", backend=backend)
+    assert run_scenario(spec).violations == []
+
+
+@pytest.mark.parametrize("backend", EXTRA_BACKENDS)
+def test_disabled_progress_check_caught_per_backend(backend):
+    """Star backends validate per-member claims through the same
+    ``validate_progress`` switch; a lying member must still be caught
+    once it is compiled out."""
+    spec, _ = _first_violating(
+        "progress_check", "progress-truthfulness", gray=True, backend=backend
+    )
     assert run_scenario(spec).violations == []

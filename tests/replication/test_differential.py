@@ -1,0 +1,92 @@
+"""Differential fingerprint tests across replication backends.
+
+On a non-faulty run every backend must be *client-indistinguishable*:
+the fuzzer's protocol-level fingerprint (client bytes + canonical
+replica stream digests + violations) must be identical whichever
+backend replicates the service.  The backends differ in *when* they
+externalize (checkpoint defers to its interval), but determinism plus
+full-transfer completion make the final fingerprints converge — any
+divergence means a backend corrupted, reordered, or truncated the
+client-visible stream.
+
+The chain backend's byte-identity with the *pre-refactor* code is
+pinned separately and more strongly by
+``tests/invariants/test_corpus_replay.py``, which replays every
+committed reproducer in ``tests/fuzz_corpus/`` and compares against
+fingerprints recorded before the strategy extraction.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.invariants.fuzz import CORPUS_DIR, ScenarioSpec, run_scenario
+from repro.replication import available_strategies
+
+BACKENDS = available_strategies()
+
+BASELINES = [
+    pytest.param(
+        {"workload": {"kind": "echo", "total_bytes": 40_000, "chunk": 2048},
+         "n_backups": 2},
+        id="echo-2backups",
+    ),
+    pytest.param(
+        {"workload": {"kind": "echo", "total_bytes": 24_576, "chunk": 1024},
+         "n_backups": 1},
+        id="echo-1backup",
+    ),
+    pytest.param(
+        {"workload": {"kind": "ttcp", "buflen": 1024, "nbuf": 32},
+         "n_backups": 3},
+        id="ttcp-3backups",
+    ),
+]
+
+
+@pytest.mark.parametrize("shape", BASELINES)
+def test_clean_baseline_fingerprints_identical(shape):
+    """Same seed, same workload, zero faults: every backend's
+    client-visible stream digest must match the chain's exactly."""
+    fingerprints = {}
+    received = {}
+    for backend in BACKENDS:
+        spec = ScenarioSpec(seed=3, duration=20.0, backend=backend, **shape)
+        result = run_scenario(spec)
+        assert result.violated_monitors == [], backend
+        fingerprints[backend] = result.fingerprint
+        received[backend] = result.client_received
+    assert len(set(fingerprints.values())) == 1, fingerprints
+    assert len(set(received.values())) == 1, received
+
+
+def test_corpus_entries_cover_every_noncain_backend():
+    """Each non-chain backend ships at least one shrunk reproducer in
+    the committed corpus, so its gate semantics are regression-pinned
+    the same way the chain's are."""
+    names = [p.name for p in Path(CORPUS_DIR).glob("*.json")]
+    for backend in BACKENDS:
+        if backend == "chain":
+            continue
+        assert any(f"-{backend}-" in n for n in names), (
+            f"no corpus reproducer for backend {backend!r}: {names}"
+        )
+
+
+def test_corpus_backends_replay_to_recorded_fingerprints():
+    """Non-chain corpus entries replay byte-identically (clean run must
+    match the recorded clean fingerprint) — the same drift gate the
+    chain corpus has in tests/invariants/test_corpus_replay.py."""
+    entries = [
+        p
+        for p in sorted(Path(CORPUS_DIR).glob("*.json"))
+        if json.loads(p.read_text())["spec"].get("backend", "chain") != "chain"
+    ]
+    assert entries
+    for path in entries:
+        data = json.loads(path.read_text())
+        spec = ScenarioSpec.from_json(data["spec"])
+        result = run_scenario(spec)
+        assert result.violated_monitors == [], path.name
+        assert result.fingerprint == data["clean_fingerprint"], path.name
