@@ -1,10 +1,11 @@
-"""Engine perf-smoke: the macro-benchmark behind ``BENCH_PR3.json``.
+"""Engine perf-smoke: the macro-benchmark behind ``BENCH_HISTORY.json``.
 
 Re-runs the bulk ft-TCP transfer through the primary + 2-backup chain
-and compares against the committed baseline.  Deterministic simulation
-results (event count, simulated duration, throughput, heap high-water
-mark) must match exactly on any machine; events/sec only gates on a
-relative threshold because wall-clock speed varies by host
+and compares against the committed trajectory: deterministic simulation
+results (event count, simulated duration, throughput, queue high-water
+mark) must match the latest history entry exactly on any machine;
+events/sec gates on a relative threshold against the *best* committed
+entry because wall-clock speed varies by host
 (``PERF_REGRESSION_PCT`` overrides the default 30).
 """
 
@@ -20,7 +21,7 @@ from repro.metrics.perf import (
 
 from .conftest import bench_once
 
-BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_PR3.json"
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_HISTORY.json"
 
 
 def _threshold() -> float:
@@ -30,7 +31,8 @@ def _threshold() -> float:
 
 def test_bench_engine_macro(benchmark):
     baseline = load_baseline(BASELINE_PATH)
-    result = bench_once(benchmark, run_engine_benchmark, **baseline["workload"])
+    workload = baseline.get("workload") or baseline["engine"]["workload"]
+    result = bench_once(benchmark, run_engine_benchmark, **workload)
     benchmark.extra_info.update(result.to_dict())
     assert result.completed
     problems = check_regression(result, baseline, threshold=_threshold())

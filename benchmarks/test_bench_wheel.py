@@ -1,0 +1,82 @@
+"""Micro-benchmarks for the PR-10 hot structures (DESIGN.md §16):
+scheduler churn (wheel vs heap) and the redirector fast table.
+
+Unlike the macro-benchmark these time a single structure in isolation,
+so the numbers are only comparable *within* one run — CI uses them to
+spot order-of-magnitude cliffs, not absolute speed.  The honest finding
+they document: CPython's C ``heapq`` wins raw schedule/cancel churn at
+every queue depth we measured, while the wheel holds parity on the
+macro-benchmark — see DESIGN.md §16 for why the wheel is still the
+default.
+"""
+
+import pytest
+
+from repro.netsim.simulator import HeapSimulator, WheelSimulator
+
+
+def _churn(sim_cls, n_pending: int = 2000, ops: int = 20_000) -> int:
+    """Representative scheduler churn: a standing population of timers
+    being continuously fired, re-armed, and occasionally cancelled at
+    the engine's short-horizon mix (retransmit/heartbeat/serialization
+    delays)."""
+    sim = sim_cls()
+    fired = 0
+
+    def tick():
+        nonlocal fired
+        fired += 1
+
+    # Standing population.
+    handles = [sim.schedule(0.001 + (i % 97) * 0.0005, tick) for i in range(n_pending)]
+    for i in range(ops):
+        slot = i % n_pending
+        handles[slot].cancel()
+        handles[slot] = sim.schedule(0.002 + (i % 89) * 0.0004, tick)
+        if i % 7 == 0:
+            sim.post(0.0015, tick)
+    sim.run_until_idle(max_events=n_pending + ops)
+    return fired
+
+
+@pytest.mark.parametrize("sim_cls", [WheelSimulator, HeapSimulator],
+                         ids=["wheel", "heap"])
+def test_bench_scheduler_churn(benchmark, sim_cls):
+    fired = benchmark.pedantic(
+        _churn, args=(sim_cls,), rounds=3, iterations=1
+    )
+    assert fired > 0
+    benchmark.extra_info["fired"] = fired
+
+
+def test_bench_scheduler_churn_differential():
+    """The churn workload fires the identical event count either way —
+    cheap insurance that the micro-benchmark itself is differential."""
+    assert _churn(WheelSimulator, 500, 4000) == _churn(HeapSimulator, 500, 4000)
+
+
+def _fast_table_lookups(n_services: int = 256, lookups: int = 200_000) -> int:
+    """The redirector's per-packet path: two fast-table probes per
+    packet ((src, sport) then (dst, dport)) against plain-int keys."""
+    from repro.hydranet.redirector import _RedirectorTable, RedirectionEntry, ServiceKey
+    from repro.netsim.addressing import IPAddress
+
+    table = _RedirectorTable()
+    for i in range(n_services):
+        key = ServiceKey(IPAddress(0x0A000000 + i), 5000 + i)
+        table[key] = RedirectionEntry(
+            key=key, replicas=[IPAddress(0x0A010000 + i)]
+        )
+    fast = table.fast
+    hits = 0
+    for i in range(lookups):
+        if fast.get((0x0A000000 + (i % n_services), 5000 + (i % n_services))):
+            hits += 1
+        if fast.get((0x0B000000 + (i % n_services), 5000)) is None:
+            hits += 1  # miss path is just as hot (non-service traffic)
+    return hits
+
+
+def test_bench_redirector_fast_table(benchmark):
+    hits = benchmark.pedantic(_fast_table_lookups, rounds=3, iterations=1)
+    assert hits == 400_000

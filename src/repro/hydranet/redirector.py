@@ -219,7 +219,11 @@ class Redirector(Router):
         partitioned-but-alive ex-primary) is *fenced* here and can never
         interleave bytes with the current primary (DESIGN.md §9).
         """
-        if packet.protocol != Protocol.TCP or packet.is_fragment:
+        if (
+            packet.protocol != Protocol.TCP
+            or packet.more_fragments
+            or packet.frag_offset
+        ):
             # Replicas emit MTU-sized segments, so client-bound service
             # output is never fragmented before the redirector.
             return False
@@ -241,16 +245,19 @@ class Redirector(Router):
         return True  # consumed: the stale segment goes no further
 
     def _redirect_hook(self, packet: IPPacket, nic: NIC) -> bool:
-        if packet.protocol not in (Protocol.TCP, Protocol.UDP):
+        protocol = packet.protocol
+        if protocol != Protocol.TCP and protocol != Protocol.UDP:
             return False
-        if packet.is_fragment:
+        if packet.more_fragments or packet.frag_offset:
             # Port information lives in the first fragment only; the
             # model never fragments before the redirector (end hosts
             # send MTU-sized packets), so pass fragments through.
             return False
-        port = self._destination_port(packet)
-        if port is None:
+        # _destination_port inlined (per-packet path).
+        payload = packet.payload
+        if not isinstance(payload, (TCPSegment, UDPDatagram)):
             return False
+        port = payload.dst_port
         entry = self.table.fast.get((packet.dst._value, port))
         if entry is None or not entry.replicas:
             return False

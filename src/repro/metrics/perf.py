@@ -113,9 +113,35 @@ def run_engine_benchmark(
 
 
 def load_baseline(path: str | Path) -> dict:
-    """Load a ``BENCH_PR3.json``-style baseline file."""
+    """Load a ``BENCH_PR3.json``- or ``BENCH_HISTORY.json``-style file."""
     with open(path) as f:
         return json.load(f)
+
+
+#: Alias: the cumulative trajectory file uses the same loader.
+load_history = load_baseline
+
+
+def baseline_records(baseline: dict) -> tuple[dict, dict]:
+    """``(deterministic_base, speed_base)`` from a baseline file.
+
+    Old-style files (``BENCH_PR3.json``) carry one ``after`` record
+    that serves both purposes.  History-style files
+    (``BENCH_HISTORY.json``) carry the whole trajectory under
+    ``engine.entries``: deterministic fields gate against the *latest*
+    entry (behaviour legitimately evolves across PRs — e.g. the event
+    count changed when stale-timer pops started counting), while
+    events/sec gates against the *best* committed entry so a PR can
+    never quietly re-lose a previous PR's speedup.
+    """
+    engine = baseline.get("engine")
+    if engine and "entries" in engine:
+        entries = engine["entries"]
+        det = entries[-1]
+        speed = max(entries, key=lambda e: e.get("events_per_sec") or 0.0)
+        return det, speed
+    base = baseline["after"]
+    return base, base
 
 
 def check_regression(
@@ -123,12 +149,14 @@ def check_regression(
     baseline: dict,
     threshold: float = DEFAULT_THRESHOLD,
 ) -> list[str]:
-    """Compare a fresh run against the baseline's "after" record.
+    """Compare a fresh run against the committed baseline.
 
+    Accepts both the old single-PR baseline schema and the cumulative
+    ``BENCH_HISTORY.json`` trajectory (see :func:`baseline_records`).
     Returns a list of human-readable problems (empty = pass).
     """
     problems: list[str] = []
-    base = baseline["after"]
+    base, speed_base = baseline_records(baseline)
 
     # Determinism: identical on any machine, or behaviour changed.
     for field in (
@@ -147,13 +175,14 @@ def check_regression(
                 f"baseline has {want!r}"
             )
 
-    # Speed: machine-dependent, gated on a relative threshold.
-    floor = base["events_per_sec"] * (1.0 - threshold)
+    # Speed: machine-dependent, gated on a relative threshold against
+    # the best committed baseline.
+    floor = speed_base["events_per_sec"] * (1.0 - threshold)
     if result.events_per_sec < floor:
         problems.append(
             f"events/sec regressed beyond {threshold:.0%}: "
             f"{result.events_per_sec} < {floor:.1f} "
-            f"(baseline {base['events_per_sec']})"
+            f"(best committed baseline {speed_base['events_per_sec']})"
         )
     return problems
 
@@ -386,13 +415,131 @@ def run_pooled_engine_medians(
     }
 
 
+# -- scheduler differential (PR 10: timer wheel vs heap) ---------------------
+
+
+def compare_schedulers(runs: int = 5, **workload) -> dict:
+    """Run the engine macro-benchmark under both schedulers, interleaved.
+
+    The hard gate is *fingerprint equality*: every deterministic field
+    must be byte-identical between the wheel and the heap — they are
+    two implementations of one event schedule.  The wall-clock ratio is
+    informational (see DESIGN.md §16: CPython's C ``heapq`` keeps the
+    heap at rough parity with the pure-Python wheel, so the ratio
+    hovers around 1.0 rather than the textbook wheel win).
+    """
+    import repro.netsim.simulator  # noqa: F401 — fail fast before mutating env
+
+    samples: dict[str, list[EnginePerfResult]] = {"heap": [], "wheel": []}
+    saved = os.environ.get("REPRO_SCHEDULER")
+    try:
+        for _ in range(runs):
+            for scheduler in ("heap", "wheel"):
+                os.environ["REPRO_SCHEDULER"] = scheduler
+                samples[scheduler].append(run_engine_benchmark(**workload))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SCHEDULER", None)
+        else:
+            os.environ["REPRO_SCHEDULER"] = saved
+
+    def deterministic(results: list[EnginePerfResult]) -> dict:
+        first = {f: getattr(results[0], f) for f in _ENGINE_DETERMINISTIC_FIELDS}
+        for r in results[1:]:
+            for f in _ENGINE_DETERMINISTIC_FIELDS:
+                if getattr(r, f) != first[f]:
+                    raise RuntimeError(
+                        f"deterministic field {f!r} drifted between "
+                        f"repetitions of one scheduler: {first[f]!r} vs "
+                        f"{getattr(r, f)!r}"
+                    )
+        return first
+
+    report = {
+        "workload": dict(workload),
+        "runs": runs,
+        "schedulers": {
+            name: {
+                "deterministic": deterministic(rs),
+                "median_events_per_sec": round(
+                    statistics.median(r.events_per_sec for r in rs), 1
+                ),
+                "median_wall_seconds": round(
+                    statistics.median(r.wall_seconds for r in rs), 4
+                ),
+            }
+            for name, rs in samples.items()
+        },
+    }
+    heap_evs = report["schedulers"]["heap"]["median_events_per_sec"]
+    wheel_evs = report["schedulers"]["wheel"]["median_events_per_sec"]
+    report["wheel_over_heap"] = round(wheel_evs / heap_evs, 3) if heap_evs else 0.0
+    return report
+
+
+def check_scheduler_parity(report: dict, min_ratio: float = 0.85) -> list[str]:
+    """CI gate for :func:`compare_schedulers`; returns problems.
+
+    Fingerprint equality is unconditional.  The events/sec ratio gates
+    at ``min_ratio`` — a *parity guard* against the wheel silently
+    rotting, not a claimed speedup (DESIGN.md §16 records why the
+    original ≥1.3x target is not reachable in pure Python against the
+    C ``heapq``).
+    """
+    problems: list[str] = []
+    heap = report["schedulers"]["heap"]["deterministic"]
+    wheel = report["schedulers"]["wheel"]["deterministic"]
+    for f in _ENGINE_DETERMINISTIC_FIELDS:
+        if heap[f] != wheel[f]:
+            problems.append(
+                f"scheduler fingerprints diverge: {f} = {wheel[f]!r} (wheel) "
+                f"vs {heap[f]!r} (heap)"
+            )
+    ratio = report["wheel_over_heap"]
+    if ratio < min_ratio:
+        problems.append(
+            f"wheel/heap events-per-sec ratio {ratio:.3f} below the "
+            f"{min_ratio:.2f} parity guard"
+        )
+    return problems
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.metrics.perf",
-        description="Scenario-throughput scaling benchmark (DESIGN.md §12).",
+        description=(
+            "Engine + scenario-throughput benchmarks (DESIGN.md §10, §12, "
+            "§16).  Default: the engine macro-benchmark, median of 5 "
+            "interleaved pooled runs."
+        ),
     )
     parser.add_argument(
         "--scaling", action="store_true", help="run the jobs-scaling sweep"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, metavar="N",
+        help="engine-benchmark repetitions (default 5)",
+    )
+    parser.add_argument(
+        "--profile", nargs="?", const="perf-profile", default=None,
+        metavar="DIR",
+        help="profile one engine run: event-class histogram + cProfile "
+        "artifacts into DIR (default ./perf-profile)",
+    )
+    parser.add_argument(
+        "--compare-schedulers", action="store_true",
+        help="run the engine benchmark under wheel AND heap schedulers, "
+        "gate fingerprint equality, report the speed ratio",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.85, metavar="R",
+        help="wheel/heap events-per-sec parity guard for "
+        "--compare-schedulers --check (default 0.85)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="baseline/history JSON to gate against with --check "
+        "(default: BENCH_HISTORY.json next to the repo root, if present)",
     )
     parser.add_argument(
         "--jobs-levels", default="1,2,4,8", metavar="N,N,...",
@@ -411,8 +558,106 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="write the scaling result as JSON",
     )
     args = parser.parse_args(argv)
+
+    if args.profile is not None:
+        from repro.metrics.profiling import profile_engine
+
+        report = profile_engine(out_dir=args.profile)
+        print(report.render())
+        return 0
+
+    if args.compare_schedulers:
+        report = compare_schedulers(runs=args.runs)
+        for name in ("heap", "wheel"):
+            rec = report["schedulers"][name]
+            print(
+                f"{name:>6}: median {rec['median_events_per_sec']:>10,.1f} ev/s "
+                f"({rec['median_wall_seconds']:.4f}s wall), "
+                f"events={rec['deterministic']['events']} "
+                f"sim={rec['deterministic']['sim_seconds']}s "
+                f"peak={rec['deterministic']['peak_queue_len']}"
+            )
+        print(f"wheel/heap ratio: {report['wheel_over_heap']:.3f}")
+        if args.out is not None:
+            args.out.write_text(
+                json.dumps(report, indent=1, sort_keys=True) + "\n"
+            )
+        problems = check_scheduler_parity(report, min_ratio=args.min_ratio)
+        if args.check and problems:
+            print("SCHEDULER PARITY FAILURES:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        if args.check:
+            print(
+                "Scheduler check: OK (fingerprints identical, ratio >= "
+                f"{args.min_ratio:.2f})"
+            )
+        elif problems:
+            for p in problems:
+                print(f"note: {p}")
+        return 0
+
     if not args.scaling:
-        parser.print_help()
+        # Default mode: the engine macro-benchmark, medians of
+        # interleaved pooled runs (the methodology behind the committed
+        # BENCH_HISTORY.json entries).
+        medians = run_pooled_engine_medians(runs=args.runs)
+        det = medians["deterministic"]
+        print(
+            f"engine macro-benchmark: median of {medians['runs']} interleaved "
+            f"pooled runs (jobs={medians['jobs']})"
+        )
+        print(
+            f"  deterministic: events={det['events']} "
+            f"sim={det['sim_seconds']}s peak_queue={det['peak_queue_len']} "
+            f"app-throughput={det['throughput_kB_per_s']} kB/s"
+        )
+        print(
+            f"  wall-clock:    {medians['median_events_per_sec']:,.1f} ev/s "
+            f"median ({medians['median_wall_seconds']:.4f}s/run, "
+            f"{medians['median_wall_per_sim_second']:.4f} wall-s per sim-s)"
+        )
+        if args.out is not None:
+            args.out.write_text(
+                json.dumps(medians, indent=1, sort_keys=True) + "\n"
+            )
+        baseline_path = args.baseline
+        if baseline_path is None:
+            candidate = Path(__file__).resolve().parents[3] / "BENCH_HISTORY.json"
+            baseline_path = candidate if candidate.exists() else None
+        if baseline_path is not None:
+            baseline = load_baseline(baseline_path)
+            synthetic = EnginePerfResult(
+                **medians["workload"]
+                or dict(nbuf=1024, buflen=1024, n_backups=2, seed=0),
+                completed=det["completed"],
+                bytes_sent=det["bytes_sent"],
+                events=det["events"],
+                sim_seconds=det["sim_seconds"],
+                peak_queue_len=det["peak_queue_len"],
+                throughput_kB_per_s=det["throughput_kB_per_s"],
+                wall_seconds=medians["median_wall_seconds"],
+                events_per_sec=medians["median_events_per_sec"],
+                wall_per_sim_second=medians["median_wall_per_sim_second"],
+            )
+            problems = check_regression(synthetic, baseline)
+            _, speed_base = baseline_records(baseline)
+            print(
+                f"  baseline:      {speed_base['events_per_sec']:,.1f} ev/s "
+                f"best committed ({baseline_path.name}) -> "
+                f"{medians['median_events_per_sec'] / speed_base['events_per_sec']:.2f}x"
+            )
+            if args.check and problems:
+                print("REGRESSION CHECK FAILURES:")
+                for p in problems:
+                    print(f"  - {p}")
+                return 1
+            if args.check:
+                print("Regression check: OK")
+            elif problems:
+                for p in problems:
+                    print(f"note: {p}")
         return 0
 
     jobs_levels = [int(x) for x in args.jobs_levels.split(",") if x.strip()]

@@ -86,6 +86,73 @@ def as_address(value: AddressLike) -> IPAddress:
     return value if isinstance(value, IPAddress) else IPAddress(value)
 
 
+class AddressSet(set):
+    """A ``set[IPAddress]`` that mirrors the raw address ints.
+
+    Membership probes against a plain ``set[IPAddress]`` call the
+    Python-level ``IPAddress.__hash__`` per probe; the kernel's
+    per-packet "is this address mine?" checks do two of them for every
+    packet.  This subclass keeps a parallel ``values`` set of plain
+    ints so hot paths can probe ``addr._value in s.values`` entirely in
+    C.  Every mutator keeps the mirror in sync (the rarely used bulk
+    ones just rebuild it).
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, iterable=()):
+        super().__init__(iterable)
+        self.values = {a._value for a in self}
+
+    def add(self, address: IPAddress) -> None:
+        set.add(self, address)
+        self.values.add(address._value)
+
+    def discard(self, address: IPAddress) -> None:
+        set.discard(self, address)
+        self.values.discard(address._value)
+
+    def remove(self, address: IPAddress) -> None:
+        set.remove(self, address)
+        self.values.discard(address._value)
+
+    def clear(self) -> None:
+        set.clear(self)
+        self.values.clear()
+
+    def update(self, *others) -> None:
+        set.update(self, *others)
+        self.values = {a._value for a in self}
+
+    def _rebuild(self, result):
+        self.values = {a._value for a in self}
+        return result
+
+    def pop(self):
+        return self._rebuild(set.pop(self))
+
+    def difference_update(self, *others):
+        self._rebuild(set.difference_update(self, *others))
+
+    def intersection_update(self, *others):
+        self._rebuild(set.intersection_update(self, *others))
+
+    def symmetric_difference_update(self, other):
+        self._rebuild(set.symmetric_difference_update(self, other))
+
+    def __ior__(self, other):
+        return self._rebuild(set.__ior__(self, other))
+
+    def __iand__(self, other):
+        return self._rebuild(set.__iand__(self, other))
+
+    def __isub__(self, other):
+        return self._rebuild(set.__isub__(self, other))
+
+    def __ixor__(self, other):
+        return self._rebuild(set.__ixor__(self, other))
+
+
 class Network:
     """A CIDR network, e.g. ``Network('10.0.1.0/24')``."""
 

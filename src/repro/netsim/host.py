@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from .addressing import IPAddress, Network, as_address
+from .addressing import AddressSet, IPAddress, Network, as_address
 from .fragmentation import Reassembler, fragment_packet
 from .nic import NIC
 from .packet import IPPacket, Protocol
@@ -76,13 +76,14 @@ class Kernel:
         # software; 0 for a clean kernel.
         self.software_overhead = 0.0
         # Addresses accepted in addition to NIC addresses — the virtual
-        # host mechanism of HydraNet populates this.
-        self.virtual_addresses: set[IPAddress] = set()
+        # host mechanism of HydraNet populates this.  AddressSet so the
+        # per-packet ownership probes below run on plain ints.
+        self.virtual_addresses: AddressSet = AddressSet()
         self.reassembler = Reassembler(self.sim)
         # NIC addresses, mirrored as a set so `owns_address` is two set
         # probes instead of a generator sweep (kept in sync by
         # `Host.add_interface`; NIC addresses never change afterwards).
-        self._nic_addrs: set[IPAddress] = set()
+        self._nic_addrs: AddressSet = AddressSet()
         # Flattened routing table [(mask, base, nic)] — longest-prefix
         # match on plain ints.  Rebuilt lazily: datacenter-scale
         # topologies install thousands of routes per router and sorting
@@ -162,7 +163,11 @@ class Kernel:
     def owns_address(self, address: IPAddress) -> bool:
         if type(address) is not IPAddress:
             address = as_address(address)
-        return address in self._nic_addrs or address in self.virtual_addresses
+        value = address._value
+        return (
+            value in self._nic_addrs.values
+            or value in self.virtual_addresses.values
+        )
 
     # -- protocol registration ----------------------------------------
 
@@ -174,11 +179,27 @@ class Kernel:
     # -- send path -----------------------------------------------------
 
     def send_ip(self, packet: IPPacket) -> None:
-        """Send a locally generated packet (charges CPU, then routes)."""
-        if self.host.crashed:
+        """Send a locally generated packet (charges CPU, then routes).
+
+        The CPU charge is ``_cpu_delay`` inlined — identical float
+        expression, one call fewer on the per-packet path.
+        """
+        host = self.host
+        if host.crashed:
             return
-        delay = self._cpu_delay(packet.wire_size)
-        self.sim.post(delay, self._route_and_transmit, packet)
+        profile = host.profile
+        cost = (
+            profile.per_packet_cpu
+            + profile.per_byte_cpu * packet.wire_size
+            + self.software_overhead
+        ) * host.cpu_multiplier
+        sim = self.sim
+        now = sim._now
+        free = self._cpu_free_at
+        start = now if now >= free else free
+        free = start + cost
+        self._cpu_free_at = free
+        sim.post(free - now, self._route_and_transmit, packet)
 
     def _route_and_transmit(self, packet: IPPacket) -> None:
         if self.host.crashed:
@@ -186,14 +207,21 @@ class Kernel:
         # Loopback / locally owned destination: deliver without a wire.
         # (Set probes inlined from owns_address: dst is always a real
         # IPAddress on this path.)
-        dst = packet.dst
-        if dst in self._nic_addrs or dst in self.virtual_addresses:
+        value = packet.dst._value
+        if value in self._nic_addrs.values or value in self.virtual_addresses.values:
             self.sim.post(0.0, self._deliver_local, packet)
             return
-        nic = self.route_lookup(packet.dst)
-        if nic is None:
-            self.packets_dropped += 1
-            trace(self.sim, self.host.name, "no-route", packet)
+        # Inlined route-cache hit (route_lookup validates the same way).
+        nic = self._route_cache.get(value)
+        if nic is None or not nic.up:
+            nic = self.route_lookup(packet.dst)
+            if nic is None:
+                self.packets_dropped += 1
+                trace(self.sim, self.host.name, "no-route", packet)
+                return
+        if packet.wire_size <= nic.mtu:
+            # fragment_packet's already-fits fast path, inlined.
+            nic.send(packet)
             return
         try:
             fragments = fragment_packet(packet, nic.mtu)
@@ -216,10 +244,23 @@ class Kernel:
     # -- receive path ---------------------------------------------------
 
     def receive_from_nic(self, packet: IPPacket, nic: NIC) -> None:
-        if self.host.crashed:
+        # Same inlined CPU charge as send_ip.
+        host = self.host
+        if host.crashed:
             return
-        delay = self._cpu_delay(packet.wire_size)
-        self.sim.post(delay, self._process, packet, nic)
+        profile = host.profile
+        cost = (
+            profile.per_packet_cpu
+            + profile.per_byte_cpu * packet.wire_size
+            + self.software_overhead
+        ) * host.cpu_multiplier
+        sim = self.sim
+        now = sim._now
+        free = self._cpu_free_at
+        start = now if now >= free else free
+        free = start + cost
+        self._cpu_free_at = free
+        sim.post(free - now, self._process, packet, nic)
 
     def _process(self, packet: IPPacket, nic: NIC) -> None:
         if self.host.crashed:
@@ -229,8 +270,8 @@ class Kernel:
             for hook in list(self.packet_hooks):
                 if hook(packet, nic):
                     return
-        dst = packet.dst
-        if dst in self._nic_addrs or dst in self.virtual_addresses:
+        value = packet.dst._value
+        if value in self._nic_addrs.values or value in self.virtual_addresses.values:
             self._deliver_local(packet)
         elif self.ip_forwarding:
             self._forward(packet)
@@ -239,12 +280,14 @@ class Kernel:
             trace(self.sim, self.host.name, "not-mine", packet)
 
     def _deliver_local(self, packet: IPPacket) -> None:
-        if packet.is_fragment:
+        if packet.more_fragments or packet.frag_offset:  # is_fragment inline
             whole = self.reassembler.push(packet)
             if whole is None:
                 return
             packet = whole
-        handler = self.protocol_handlers.get(int(packet.protocol))
+        # IntEnum and int hash/compare identically, so Protocol members
+        # hit the int-keyed table without a per-packet int() call.
+        handler = self.protocol_handlers.get(packet.protocol)
         if handler is None:
             self.packets_dropped += 1
             trace(self.sim, self.host.name, "proto-unreach", packet)

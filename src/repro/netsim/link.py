@@ -68,7 +68,7 @@ class Channel:
             self.packets_dropped_queue += 1
             trace(sim, self.name, "queue-drop", packet)
             return
-        now = sim.now
+        now = sim._now
         start = now if now >= self._busy_until else self._busy_until
         done = start + packet.wire_size * 8 / self.bandwidth_bps
         self._busy_until = done

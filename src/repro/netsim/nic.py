@@ -29,6 +29,7 @@ class NIC:
     ):
         self.host = host
         self.sim = host.sim  # cached: NIC tx/rx are per-packet hot paths
+        self._kernel = host.kernel  # cached for the rx fast path
         self.ip = ip
         self.network = network
         self.mtu = mtu
@@ -60,7 +61,7 @@ class NIC:
     def send(self, packet: IPPacket) -> None:
         """Put a packet on the wire.  Caller is responsible for MTU
         compliance (the kernel fragments before calling this)."""
-        if not self.up:
+        if not self._up:
             trace(self.sim, self.name, "nic-down-drop", packet)
             return
         if self._out is None:
@@ -78,11 +79,11 @@ class NIC:
 
     def deliver(self, packet: IPPacket) -> None:
         """Called by the link when a packet arrives at this interface."""
-        if not self.up:
+        if not self._up:
             trace(self.sim, self.name, "nic-down-drop", packet)
             return
         self.packets_in += 1
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.record(self.sim.now, self.name, "rx", packet)
-        self.host.kernel.receive_from_nic(packet, self)
+        self._kernel.receive_from_nic(packet, self)

@@ -35,12 +35,15 @@ class Protocol(enum.IntEnum):
 class Payload:
     """Base class for everything that can ride inside an IP packet."""
 
+    # Empty so the slotted payload dataclasses below stay dict-free.
+    __slots__ = ()
+
     @property
     def wire_size(self) -> int:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class RawData(Payload):
     """Opaque application data (used directly in tests)."""
 
@@ -51,7 +54,7 @@ class RawData(Payload):
         return len(self.data)
 
 
-@dataclass
+@dataclass(slots=True)
 class UDPDatagram(Payload):
     """A UDP datagram.  ``data`` may be bytes or any structured message
     object that exposes ``wire_size`` (management-protocol messages do)."""
@@ -59,6 +62,9 @@ class UDPDatagram(Payload):
     src_port: int
     dst_port: int
     data: object
+    _wire_size: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def data_size(self) -> int:
@@ -73,12 +79,10 @@ class UDPDatagram(Payload):
 
     @property
     def wire_size(self) -> int:
-        try:
-            return self._wire_size
-        except AttributeError:
-            size = UDP_HEADER_SIZE + self.data_size
-            self._wire_size = size
-            return size
+        size = self._wire_size
+        if size is None:
+            size = self._wire_size = UDP_HEADER_SIZE + self.data_size
+        return size
 
 
 class TCPFlags(enum.IntFlag):
@@ -102,7 +106,7 @@ FLAG_PSH = 8
 FLAG_ACK = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPSegment(Payload):
     """A TCP segment with the fields the reproduction needs.
 
@@ -126,15 +130,17 @@ class TCPSegment(Payload):
     #: unused header field (the urgent pointer of non-URG segments), so
     #: it adds no wire bytes — keeping the Figure 4 calibration intact.
     epoch: Optional[int] = None
+    _wire_size: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def wire_size(self) -> int:
         # Memoized: segments are immutable once emitted and this is on
         # the per-packet CPU/serialization path.
-        try:
-            return self._wire_size
-        except AttributeError:
-            pass
+        size = self._wire_size
+        if size is not None:
+            return size
         options = 0
         if self.sack_blocks:
             options += 4 + 8 * len(self.sack_blocks)  # kind/len + pairs
@@ -174,7 +180,7 @@ class TCPSegment(Payload):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class IPPacket:
     """A simulated IP packet.
 
@@ -196,6 +202,7 @@ class IPPacket:
     # Total payload size of the original packet; only meaningful on
     # fragments (lets the reassembler know when it is done).
     original_payload_size: Optional[int] = None
+    wire_size: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
         # Computed eagerly: every packet's wire size is read at least
@@ -222,7 +229,7 @@ class IPPacket:
         return f"IP {self.src}->{self.dst} {self.protocol.name}{frag} | {inner}"
 
 
-@dataclass
+@dataclass(slots=True)
 class FragmentData(Payload):
     """Payload of an IP fragment: a byte-range view of the original
     packet's payload.  The original payload object rides along on the

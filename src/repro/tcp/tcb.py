@@ -53,6 +53,13 @@ if TYPE_CHECKING:
 
 MAX_WINDOW = 65535
 
+# Inline mod-2**32 sequence arithmetic for the per-segment hot paths:
+# `x & _SEQ_MASK` equals `x % 2**32` for every int, and
+# `((a - b + _SEQ_HALF) & _SEQ_MASK) - _SEQ_HALF` is seq_diff(a, b) —
+# the seqnum helpers stay the readable public vocabulary.
+_SEQ_MASK = 0xFFFFFFFF
+_SEQ_HALF = 0x80000000
+
 
 class TcpState(enum.Enum):
     CLOSED = "CLOSED"
@@ -350,20 +357,34 @@ class TcpConnection:
     def _make_segment(
         self, flags: int, seq: Optional[int] = None, data: bytes = b""
     ) -> TCPSegment:
+        # _seq_for / _wire_ack / _sack_blocks inlined (per-segment path).
+        if seq is None:
+            seq = (self.iss + 1 + self.snd_nxt) & _SEQ_MASK
+        if flags & FLAG_ACK:
+            irs = self.irs
+            if irs is None:
+                ack = 0
+            else:
+                extra = 1 if self.fin_deposited else 0
+                ack = (irs + 1 + self.reassembler.take_point + extra) & _SEQ_MASK
+            sack = self._sack_blocks() if self.sack_enabled else ()
+        else:
+            ack = 0
+            sack = ()
         return TCPSegment(
             src_port=self.local_port,
             dst_port=self.remote_port,
-            seq=seq if seq is not None else self._seq_for(self.snd_nxt),
-            ack=self._wire_ack() if flags & FLAG_ACK else 0,
+            seq=seq,
+            ack=ack,
             flags=flags,
             window=self.advertised_window(),
             data=data,
-            sack_blocks=self._sack_blocks() if flags & FLAG_ACK else (),
+            sack_blocks=sack,
         )
 
     def _emit(self, segment: TCPSegment) -> None:
         self.segments_sent += 1
-        if segment.has_ack:
+        if segment.flags & FLAG_ACK:
             self.ack_timer.stop()
             self._segs_since_ack = 0
         if self.output_filter is not None and self.output_filter(segment):
@@ -439,44 +460,56 @@ class TcpConnection:
             TcpState.TIME_WAIT,
         ):
             return
+        send_buffer = self.send_buffer
+        options = self.options
+        transmit_limit = self.transmit_limit
         while True:
-            window = self.congestion.window(max(self.peer_window, 0))
-            usable = self.snd_una + window - self.snd_nxt
-            available = self.send_buffer.end - self.snd_nxt
-            ceiling = self._transmit_ceiling()
-            if ceiling is not None:
-                available = min(available, ceiling - self.snd_nxt)
+            # Recomputed each iteration on purpose: emitting a segment
+            # runs the ft output filter, which may move the gates.
+            peer_window = self.peer_window
+            window = self.congestion.window(peer_window if peer_window > 0 else 0)
+            snd_nxt = self.snd_nxt
+            usable = self.snd_una + window - snd_nxt
+            available = send_buffer.end - snd_nxt
+            if transmit_limit is not None:
+                ceiling = transmit_limit()
+                if ceiling is not None:
+                    limited = ceiling - snd_nxt
+                    if limited < available:
+                        available = limited
             if available <= 0:
                 break
             if usable <= 0:
-                if self.peer_window == 0 and not self.rtx_timer.running:
+                if peer_window == 0 and not self.rtx_timer.running:
                     self._start_persist()
                 break
             n = min(usable, available, self.mss)
-            if self.options.segment_per_write:
+            if options.segment_per_write:
                 # Measurement mode: a write is sent as one segment or
                 # not at all — never sliced by the window edge.
-                whole = self.send_buffer.read(self.snd_nxt, min(available, self.mss))
+                whole = send_buffer.read(snd_nxt, min(available, self.mss))
                 if len(whole) > usable:
                     break
                 data = whole
             else:
-                data = self.send_buffer.read(self.snd_nxt, n)
+                data = send_buffer.read(snd_nxt, n)
             if not data:
                 break
             if (
-                self.options.nagle
+                options.nagle
                 and len(data) < self.mss
-                and self.flight_size > 0
+                and self.snd_nxt > self.snd_una
                 and not self.fin_queued
             ):
                 break
-            self._send_data_segment(self.snd_nxt, data)
+            self._send_data_segment(snd_nxt, data)
         self._maybe_send_fin()
 
     def _send_data_segment(self, offset: int, data: bytes, retransmit: bool = False) -> None:
         flags = FLAG_ACK | FLAG_PSH
-        segment = self._make_segment(flags, seq=self._seq_for(offset), data=data)
+        segment = self._make_segment(
+            flags, seq=(self.iss + 1 + offset) & _SEQ_MASK, data=data
+        )
         end = offset + len(data)
         # After a go-back-N pointer reset, ordinary output below the
         # high-water mark is still a retransmission for Karn/statistics
@@ -627,25 +660,27 @@ class TcpConnection:
 
     def segment_arrived(self, segment: TCPSegment) -> None:
         self.segments_received += 1
-        if self.state == TcpState.CLOSED:
+        state = self.state
+        if state is TcpState.CLOSED:
             return
-        if segment.rst:
+        flags = segment.flags
+        if flags & FLAG_RST:
             self._handle_rst(segment)
             return
-        if self.state == TcpState.SYN_SENT:
+        if state is TcpState.SYN_SENT:
             self._handle_syn_sent(segment)
             return
-        if self.state == TcpState.SYN_RCVD:
+        if state is TcpState.SYN_RCVD:
             self._handle_syn_rcvd(segment)
             if self.state not in (TcpState.ESTABLISHED,):
                 return
             # Fall through: the ACK completing the handshake may carry data.
-        if segment.syn:
+        if flags & FLAG_SYN:
             # Retransmitted SYN on an established connection: our
             # SYN-ACK or ACK was lost; re-acknowledge.
             self._send_ack_now()
             return
-        if segment.has_ack:
+        if flags & FLAG_ACK:
             self._process_ack(segment)
         if self.state == TcpState.CLOSED:
             return
@@ -716,8 +751,9 @@ class TcpConnection:
             base = seq_add(self.iss, 1)
             for left, right in segment.sack_blocks:
                 self.scoreboard.record(seq_diff(left, base), seq_diff(right, base))
-        acked = self._offset_for_ack(segment.ack)
-        fin_point = self._fin_offset() + 1 if self.fin_sent else None
+        # _offset_for_ack inlined: seq_diff(ack, iss + 1) in C arithmetic.
+        acked = ((segment.ack - self.iss - 1 + _SEQ_HALF) & _SEQ_MASK) - _SEQ_HALF
+        fin_point = self.send_buffer.end + 1 if self.fin_sent else None
         max_valid = fin_point if fin_point is not None else self.send_buffer.end
         if acked > max_valid:
             if not self.clamp_future_acks:
@@ -759,13 +795,13 @@ class TcpConnection:
                 self.on_send_space()
         elif (
             data_acked == self.snd_una
-            and self.flight_size > 0
+            and self.snd_nxt > self.snd_una
             and not segment.data
-            and not segment.fin
+            and not segment.flags & FLAG_FIN
         ):
             self._dupacks += 1
             if self._dupacks == self.options.dupack_threshold:
-                if self.congestion.on_dupacks(self.flight_size, self.snd_nxt):
+                if self.congestion.on_dupacks(self.snd_nxt - self.snd_una, self.snd_nxt):
                     self._retransmit_head()
             elif self._dupacks > self.options.dupack_threshold:
                 self.congestion.on_extra_dupack()
@@ -784,31 +820,35 @@ class TcpConnection:
     def _process_payload(self, segment: TCPSegment) -> None:
         if self.irs is None:
             return
-        offset = self._offset_for_seq(segment.seq)
-        had_payload = bool(segment.data)
-        is_old = had_payload and offset + len(segment.data) <= self.reassembler.in_order_end
-        if had_payload and (is_old or offset < self.reassembler.in_order_end):
+        # _offset_for_seq inlined: seq_diff(seq, irs + 1) in C arithmetic.
+        offset = ((segment.seq - self.irs - 1 + _SEQ_HALF) & _SEQ_MASK) - _SEQ_HALF
+        data = segment.data
+        dlen = len(data)
+        end = offset + dlen
+        reassembler = self.reassembler
+        had_payload = dlen > 0
+        is_old = had_payload and end <= reassembler.in_order_end
+        if had_payload and (is_old or offset < reassembler.in_order_end):
             # Fully or partially old data: a retransmission from the
             # peer.  The ft failure detector counts these (paper §4.3).
             if self.on_retransmission_observed is not None:
                 self.on_retransmission_observed(segment)
         if had_payload:
-            self.bytes_received += len(segment.data)
+            self.bytes_received += dlen
             if (
                 not self.options.stage_gated_data
                 and self.deposit_limit is not None
-                and offset + len(segment.data) > self.reassembler.in_order_end
+                and end > reassembler.in_order_end
             ):
-                ceiling = self._deposit_ceiling()
-                if ceiling is not None and offset + len(segment.data) > ceiling:
+                ceiling = self.deposit_limit()
+                if ceiling is not None and end > ceiling:
                     # Conservative-kernel emulation: data the deposit
                     # gate cannot admit yet is dropped outright; the
                     # client's retransmission will pick up where message
                     # delivery was interrupted (paper §4.3/§5).
                     return
             edge = self._window_right_edge()
-            end = offset + len(segment.data)
-            if offset >= self.reassembler.in_order_end and (
+            if offset >= reassembler.in_order_end and (
                 offset >= edge or (not self.options.rfc_window_edge and end > edge)
             ):
                 # Beyond the window edge.  RFC mode: a zero-window
@@ -819,16 +859,15 @@ class TcpConnection:
                 if self.options.rfc_window_edge:
                     self._send_ack_now()
                 return
-            before = self.reassembler.in_order_end
-            self.reassembler.add(offset, segment.data)
-            advanced = self.reassembler.in_order_end > before
+            before = reassembler.in_order_end
+            reassembler.add(offset, data)
+            advanced = reassembler.in_order_end > before
             out_of_order = not advanced
         else:
             out_of_order = False
-        if segment.fin:
-            fin_off = offset + len(segment.data)
+        if segment.flags & FLAG_FIN:
             if self.peer_fin_offset is None:
-                self.peer_fin_offset = fin_off
+                self.peer_fin_offset = end
         deposited = self._try_deposit()
         if had_payload:
             # Out-of-order or duplicate data wants an immediate dup-ACK
@@ -840,7 +879,7 @@ class TcpConnection:
             self._schedule_ack(
                 immediate=out_of_order or is_old, countable=deposited
             )
-        elif segment.fin and not deposited:
+        elif segment.flags & FLAG_FIN and not deposited:
             # Retransmitted FIN (the original was already consumed and
             # ACKed from the state transition): re-ACK it.
             self._send_ack_now()
@@ -855,14 +894,16 @@ class TcpConnection:
         deposit gate allows.  Returns True if anything was deposited or
         the FIN was consumed."""
         progressed = False
-        ceiling = self._deposit_ceiling()
-        target = self.reassembler.in_order_end
-        if ceiling is not None:
-            target = min(target, ceiling)
-        n = target - self.reassembler.take_point
+        reassembler = self.reassembler
+        deposit_limit = self.deposit_limit
+        ceiling = deposit_limit() if deposit_limit is not None else None
+        target = reassembler.in_order_end
+        if ceiling is not None and ceiling < target:
+            target = ceiling
+        n = target - reassembler.take_point
         if n > 0:
-            start = self.reassembler.take_point
-            data = self.reassembler.take(n)
+            start = reassembler.take_point
+            data = reassembler.take(n)
             self.socket_buffer.deposit(data)
             progressed = True
             if self.on_deposit_data is not None:
@@ -874,12 +915,13 @@ class TcpConnection:
                 self.on_data(payload)
         # Peer FIN is consumable once all payload before it deposited
         # and the gate lets us past it.
+        fin_offset = self.peer_fin_offset
         if (
-            self.peer_fin_offset is not None
+            fin_offset is not None
             and not self.fin_deposited
-            and self.ack_point >= self.peer_fin_offset
-            and self.reassembler.in_order_end >= self.peer_fin_offset
-            and (ceiling is None or ceiling > self.peer_fin_offset)
+            and reassembler.take_point >= fin_offset
+            and reassembler.in_order_end >= fin_offset
+            and (ceiling is None or ceiling > fin_offset)
         ):
             self.fin_deposited = True
             progressed = True

@@ -1,0 +1,247 @@
+"""Differential scheduler suite (DESIGN.md §16).
+
+The wheel and heap schedulers are two implementations of ONE event
+schedule: every observable — firing order, timestamps, fingerprints —
+must be byte-identical between them.  This file checks that three ways:
+
+* wheel edge-case unit tests (equal deadlines, cancel-then-rearm at the
+  same tick, overflow promotion, compaction, same-instant reentry);
+* randomized churn differential: an identical random op sequence driven
+  into both engines must produce the identical firing trace;
+* macro differentials: the committed fuzz corpus and the Figure-4 / D4
+  / mesh-certify experiment fingerprints replayed under both schedulers.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.netsim.simulator import (
+    HeapSimulator,
+    Simulator,
+    Timer,
+    WheelSimulator,
+)
+
+BOTH = [HeapSimulator, WheelSimulator]
+ids = lambda cls: cls.scheduler  # noqa: E731
+
+
+# -- wheel edge cases --------------------------------------------------------
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_equal_deadlines_fire_in_schedule_order(sim_cls):
+    sim = sim_cls()
+    fired = []
+    # Interleave cancellable and fire-and-forget entries at one instant.
+    sim.schedule(0.5, fired.append, "a")
+    sim.post(0.5, fired.append, "b")
+    sim.schedule(0.5, fired.append, "c")
+    sim.post(0.5, fired.append, "d")
+    sim.run_until_idle()
+    assert fired == ["a", "b", "c", "d"]
+    assert sim.now == 0.5
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_cancel_then_rearm_at_same_tick(sim_cls):
+    sim = sim_cls()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "old")
+    handle.cancel()
+    sim.schedule(1.0, fired.append, "new")  # same tick, fresh seq
+    sim.run_until_idle()
+    assert fired == ["new"]
+    assert sim.pending_events == 0
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_timer_restart_at_same_deadline(sim_cls):
+    sim = sim_cls()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    timer.start(2.0)  # equal deadline: cancel + reschedule path
+    timer.start(2.0)
+    sim.run_until_idle()
+    assert fired == [2.0]
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_timer_pushout_then_fire(sim_cls):
+    sim = sim_cls()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    sim.run(until=0.5)
+    timer.start(1.0)  # pushes the deadline out to 1.5 (re-arm in place)
+    sim.run_until_idle()
+    assert fired == [1.5]
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_overflow_promotion(sim_cls):
+    """Events beyond the wheel horizon (2**32 ticks ≈ 16.7M sim-s) park
+    in the overflow heap and must still fire in global time order."""
+    sim = sim_cls()
+    fired = []
+    far = 100_000_000.0  # way past the horizon
+    sim.schedule(far, fired.append, "far")
+    sim.schedule(0.001, fired.append, "near")
+    sim.schedule(far + 1.0, fired.append, "farther")
+    sim.post(far, fired.append, "far-post")  # same far tick, later seq
+    sim.run_until_idle()
+    assert fired == ["near", "far", "far-post", "farther"]
+    assert sim.now == far + 1.0
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_infinite_deadline_parks_until_idle_drain(sim_cls):
+    sim = sim_cls()
+    fired = []
+    sim.schedule(math.inf, fired.append, "inf-a")
+    sim.schedule(1.0, fired.append, "near")
+    sim.schedule(math.inf, fired.append, "inf-b")
+    sim.run(until=2.0)
+    assert fired == ["near"]
+    assert sim.pending_events == 2
+    sim.run_until_idle()
+    assert fired == ["near", "inf-a", "inf-b"]
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_mass_cancellation_compacts_and_counts(sim_cls):
+    sim = sim_cls()
+    fired = []
+    handles = [sim.schedule(1.0 + i * 0.001, fired.append, i) for i in range(500)]
+    for i, handle in enumerate(handles):
+        if i % 10:
+            handle.cancel()
+    assert sim.pending_events == 50
+    sim.run_until_idle()
+    assert fired == [i for i in range(500) if i % 10 == 0]
+    assert sim.pending_events == 0
+
+
+@pytest.mark.parametrize("sim_cls", BOTH, ids=ids)
+def test_same_instant_reentry_runs_in_current_drain(sim_cls):
+    """Events scheduled from a callback at zero delay join the open
+    tick and run before time advances."""
+    sim = sim_cls()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.post(0.0, lambda: fired.append("chained"))
+        sim.schedule(0.0, lambda: fired.append("chained-handle"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, fired.append, "second")
+    sim.run_until_idle()
+    assert fired == ["first", "second", "chained", "chained-handle"]
+    assert sim.now == 1.0
+
+
+def test_default_scheduler_is_the_wheel(monkeypatch):
+    monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+    assert isinstance(Simulator(), WheelSimulator)
+    monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+    assert isinstance(Simulator(), HeapSimulator)
+
+
+# -- randomized churn differential -------------------------------------------
+
+
+def _churn_trace(sim_cls, seed: int) -> list:
+    """Drive a random schedule/cancel/rearm workload; return the trace."""
+    sim = sim_cls()
+    rng = random.Random(seed)
+    trace = []
+    live = []
+
+    def fire(label):
+        trace.append((round(sim.now, 9), label))
+        # Sometimes keep churning from inside the dispatch loop.
+        if rng.random() < 0.3 and len(trace) < 3000:
+            delay = rng.choice([0.0, 1e-6, rng.uniform(0, 0.05), rng.uniform(0, 5)])
+            live.append(sim.schedule(delay, fire, f"{label}.r"))
+
+    timers = [Timer(sim, lambda i=i: trace.append((round(sim.now, 9), f"T{i}")))
+              for i in range(4)]
+    for step in range(400):
+        op = rng.random()
+        if op < 0.55:
+            delay = rng.choice(
+                [0.0, rng.uniform(0, 0.01), rng.uniform(0, 1), rng.uniform(0, 600)]
+            )
+            live.append(sim.schedule(delay, fire, f"s{step}"))
+        elif op < 0.7:
+            sim.post(rng.uniform(0, 2), fire, f"p{step}")
+        elif op < 0.85 and live:
+            live.pop(rng.randrange(len(live))).cancel()
+        else:
+            timers[rng.randrange(4)].start(rng.choice([0.0, 0.5, rng.uniform(0, 30)]))
+    sim.run_until_idle(max_events=20000)
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_churn_differential_wheel_vs_heap(seed):
+    assert _churn_trace(WheelSimulator, seed) == _churn_trace(HeapSimulator, seed)
+
+
+# -- macro differentials ------------------------------------------------------
+
+
+def _under(monkeypatch, scheduler, fn, *args, **kwargs):
+    monkeypatch.setenv("REPRO_SCHEDULER", scheduler)
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+
+
+@pytest.mark.fuzz
+def test_fuzz_corpus_fingerprints_scheduler_independent(monkeypatch):
+    from repro.invariants.fuzz import CORPUS_DIR, load_reproducer, run_scenario
+
+    corpus = sorted(CORPUS_DIR.glob("*.json"))
+    assert corpus, f"reproducer corpus missing from {CORPUS_DIR}"
+    for path in corpus:
+        entry = load_reproducer(path)
+        wheel = _under(monkeypatch, "wheel", run_scenario, entry["spec"])
+        heap = _under(monkeypatch, "heap", run_scenario, entry["spec"])
+        assert wheel.fingerprint == heap.fingerprint, path.stem
+        assert wheel.fingerprint == entry["clean_fingerprint"], path.stem
+
+
+@pytest.mark.integration
+def test_figure4_point_scheduler_independent(monkeypatch):
+    from repro.experiments.figure4 import run_figure4
+
+    wheel = _under(monkeypatch, "wheel", run_figure4, sizes=[64, 1024], nbuf=64)
+    heap = _under(monkeypatch, "heap", run_figure4, sizes=[64, 1024], nbuf=64)
+    assert wheel == heap
+
+
+@pytest.mark.integration
+def test_d4_partition_scheduler_independent(monkeypatch):
+    from repro.experiments.partition import run_partition
+
+    from dataclasses import asdict
+
+    wheel = _under(monkeypatch, "wheel", run_partition, variant="symmetric")
+    heap = _under(monkeypatch, "heap", run_partition, variant="symmetric")
+    assert asdict(wheel) == asdict(heap)
+
+
+@pytest.mark.integration
+def test_mesh_certify_scheduler_independent(monkeypatch):
+    from repro.experiments.mesh_scaling import certify_point
+
+    wheel = _under(monkeypatch, "wheel", certify_point)
+    heap = _under(monkeypatch, "heap", certify_point)
+    assert wheel["fingerprint"] == heap["fingerprint"]
+    assert wheel == heap

@@ -1,0 +1,107 @@
+"""Chunked dispatch (PR 10): correctness of the per-round-trip batching."""
+
+import multiprocessing
+
+import pytest
+
+from repro.runtime import ScenarioPool, Task
+
+from .helpers import die_hard, raise_value_error, sleep_forever, square, square_loud
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def _values(outcomes):
+    return {k: o.value for k, o in outcomes.items()}
+
+
+def test_chunk_limit_scales_with_backlog():
+    pool = ScenarioPool(jobs=2)
+    try:
+        assert pool._chunk_limit(2) == 1  # tail: single-task dispatch
+        assert pool._chunk_limit(16) == 2
+        assert pool._chunk_limit(64) == 8
+        assert pool._chunk_limit(10_000) == 8  # capped
+    finally:
+        pool.close()
+
+
+def test_take_chunk_groups_same_fn_without_timeouts():
+    pool = ScenarioPool(jobs=1)
+    try:
+        queue = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(64)]
+        chunk = pool._take_chunk(queue)
+        assert [t.key for t in chunk] == [f"t{i}" for i in range(8)]
+        assert len(queue) == 56
+
+        # A timeout on the head task forces single dispatch.
+        queue = [Task(key="slow", fn=square, args=(1,), timeout=5.0)] + [
+            Task(key=f"t{i}", fn=square, args=(i,)) for i in range(63)
+        ]
+        assert [t.key for t in pool._take_chunk(queue)] == ["slow"]
+
+        # A timeout mid-run cuts the chunk before it.
+        queue = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(3)] + [
+            Task(key="slow", fn=square, args=(9,), timeout=5.0)
+        ] + [Task(key=f"u{i}", fn=square, args=(i,)) for i in range(60)]
+        assert [t.key for t in pool._take_chunk(queue)] == ["t0", "t1", "t2"]
+
+        # A different callable cuts the chunk too (fn pickles once per chunk).
+        queue = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(2)] + [
+            Task(key="loud", fn=square_loud, args=(3,))
+        ] + [Task(key=f"u{i}", fn=square, args=(i,)) for i in range(60)]
+        assert [t.key for t in pool._take_chunk(queue)] == ["t0", "t1"]
+    finally:
+        pool.close()
+
+
+@needs_fork
+def test_large_uniform_batch_chunks_and_completes():
+    n = 80
+    with ScenarioPool(jobs=2, start_method="fork") as pool:
+        outcomes = pool.run(
+            [Task(key=f"t{i}", fn=square_loud, args=(i,)) for i in range(n)]
+        )
+    assert _values(outcomes) == {f"t{i}": i * i for i in range(n)}
+    # Per-task stdout capture survives chunked execution.
+    assert outcomes["t7"].stdout == "squaring 7\n"
+    assert all(o.ok for o in outcomes.values())
+
+
+@needs_fork
+def test_error_mid_chunk_contained_to_its_task():
+    tasks = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(40)]
+    tasks[17] = Task(key="t17", fn=raise_value_error, args=(17,))
+    with ScenarioPool(jobs=2, start_method="fork") as pool:
+        outcomes = pool.run(tasks)
+    assert outcomes["t17"].status == "error"
+    assert "boom 17" in outcomes["t17"].error
+    ok = [k for k, o in outcomes.items() if o.ok]
+    assert len(ok) == 39
+
+
+@needs_fork
+def test_crash_mid_chunk_requeues_unstarted_tasks():
+    tasks = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(40)]
+    tasks[3] = Task(key="t3", fn=die_hard, args=(3,))
+    with ScenarioPool(jobs=2, start_method="fork") as pool:
+        outcomes = pool.run(tasks)
+    assert outcomes["t3"].status == "crashed"
+    assert len(outcomes) == 40
+    # Every other task still completed, in the replacement worker if
+    # it had been queued behind the crash in the same chunk.
+    assert all(o.ok for k, o in outcomes.items() if k != "t3")
+    assert pool.stats.respawns >= 1
+
+
+@needs_fork
+def test_timeout_tasks_never_chunk_and_still_gate():
+    tasks = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(12)]
+    tasks.append(Task(key="hang", fn=sleep_forever, args=(0,), timeout=0.5, cost=99.0))
+    with ScenarioPool(jobs=2, start_method="fork") as pool:
+        outcomes = pool.run(tasks)
+    assert outcomes["hang"].status == "timeout"
+    assert all(o.ok for k, o in outcomes.items() if k != "hang")
